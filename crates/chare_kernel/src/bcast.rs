@@ -1,0 +1,157 @@
+//! Binomial spanning-tree broadcast.
+//!
+//! A naive broadcast sends `P - 1` messages from one PE, serializing on
+//! the sender's network interface — O(P) time at the root. The kernel
+//! instead distributes along a *binomial tree* rooted at the origin:
+//! every PE that receives the broadcast immediately re-sends it to its
+//! subtree children, finishing in O(log P) rounds. This is the
+//! spanning-tree broadcast the original kernel used for branch-office
+//! broadcasts and detection waves; [`BroadcastMode::Direct`] keeps the
+//! naive loop for the ablation experiment.
+//!
+//! The tree is defined on *relative ranks* `r = (pe - origin) mod P`, so
+//! any PE can be the root of its own well-formed tree:
+//!
+//! * rank 0 has children `1, 2, 4, 8, ...`;
+//! * rank `r > 0` with highest set bit `m` has children `r + 2^k` for
+//!   `2^k > m`, while `< P`.
+
+use multicomputer::Pe;
+
+/// How the kernel distributes broadcasts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BroadcastMode {
+    /// Binomial spanning tree: O(log P) latency, forwarding work shared
+    /// across PEs (the kernel's production mode).
+    #[default]
+    Tree,
+    /// The origin sends every copy itself: O(P) occupancy at the root
+    /// (kept for the ablation experiment).
+    Direct,
+}
+
+impl BroadcastMode {
+    /// Short stable name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            BroadcastMode::Tree => "tree",
+            BroadcastMode::Direct => "direct",
+        }
+    }
+}
+
+/// Children of `pe` in the binomial broadcast tree rooted at `origin`
+/// over `npes` PEs, in send order.
+pub fn tree_children(origin: Pe, pe: Pe, npes: usize) -> Vec<Pe> {
+    debug_assert!(origin.index() < npes && pe.index() < npes);
+    let p = npes as u32;
+    let r = ((pe.index() + npes - origin.index()) % npes) as u32;
+    let start = if r == 0 { 0 } else { r.ilog2() + 1 };
+    let mut out = Vec::new();
+    let mut k = start;
+    while (1u32 << k) < p {
+        let child = r + (1 << k);
+        if child >= p {
+            break;
+        }
+        out.push(Pe(((origin.index() as u32 + child) % p) % p));
+        k += 1;
+    }
+    out
+}
+
+/// Parent of `pe` in the tree rooted at `origin` (None for the root).
+pub fn tree_parent(origin: Pe, pe: Pe, npes: usize) -> Option<Pe> {
+    let p = npes as u32;
+    let r = ((pe.index() + npes - origin.index()) % npes) as u32;
+    if r == 0 {
+        return None;
+    }
+    let parent_rel = r - (1 << r.ilog2());
+    Some(Pe((origin.index() as u32 + parent_rel) % p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_tree(origin: usize, npes: usize) {
+        // Every non-root PE appears exactly once as someone's child, and
+        // that someone is its tree_parent.
+        let origin = Pe::from(origin);
+        let mut seen = vec![0u32; npes];
+        for pe in Pe::all(npes) {
+            for c in tree_children(origin, pe, npes) {
+                assert_ne!(c, origin, "root cannot be a child");
+                seen[c.index()] += 1;
+                assert_eq!(
+                    tree_parent(origin, c, npes),
+                    Some(pe),
+                    "parent mismatch for {c:?} (origin {origin:?}, P={npes})"
+                );
+            }
+        }
+        for pe in Pe::all(npes) {
+            let expect = u32::from(pe != origin);
+            assert_eq!(
+                seen[pe.index()],
+                expect,
+                "{pe:?} covered {} times (origin {origin:?}, P={npes})",
+                seen[pe.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn covers_all_pes_exactly_once() {
+        for npes in 1..=33 {
+            for origin in [0, 1, npes / 2, npes - 1] {
+                check_tree(origin.min(npes - 1), npes);
+            }
+        }
+    }
+
+    #[test]
+    fn root_zero_children_are_powers_of_two() {
+        let kids = tree_children(Pe::ZERO, Pe::ZERO, 16);
+        assert_eq!(kids, vec![Pe(1), Pe(2), Pe(4), Pe(8)]);
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        // Follow parents from the deepest rank; path length <= ceil(log2 P).
+        for npes in [2usize, 3, 17, 64, 100, 256] {
+            for pe in Pe::all(npes) {
+                let mut cur = pe;
+                let mut depth = 0;
+                while let Some(parent) = tree_parent(Pe::ZERO, cur, npes) {
+                    cur = parent;
+                    depth += 1;
+                    assert!(depth <= 1 + npes.ilog2(), "path too long at P={npes}");
+                }
+                assert_eq!(cur, Pe::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn single_pe_tree_is_empty() {
+        assert!(tree_children(Pe::ZERO, Pe::ZERO, 1).is_empty());
+        assert_eq!(tree_parent(Pe::ZERO, Pe::ZERO, 1), None);
+    }
+
+    #[test]
+    fn nonzero_origin_relabels() {
+        // Origin 3 on 8 PEs: its first children are 4, 5, 7 (ranks 1, 2, 4).
+        let kids = tree_children(Pe(3), Pe(3), 8);
+        assert_eq!(kids, vec![Pe(4), Pe(5), Pe(7)]);
+        assert_eq!(tree_parent(Pe(3), Pe(4), 8), Some(Pe(3)));
+    }
+
+    #[test]
+    fn mode_names() {
+        assert_eq!(BroadcastMode::Tree.name(), "tree");
+        assert_eq!(BroadcastMode::Direct.name(), "direct");
+        assert_eq!(BroadcastMode::default(), BroadcastMode::Tree);
+    }
+}

@@ -1,0 +1,49 @@
+//! Branch-office chares (BOCs).
+//!
+//! A branch-office chare is a replicated object with one *branch* on
+//! every PE, all addressed through a single [`BocId`](crate::ids::BocId).
+//! The paper uses BOCs for distributed services — load managers, grid
+//! computations with per-PE partitions, reduction trees. Chares on a PE
+//! can call their local branch synchronously
+//! ([`Ctx::with_branch`](crate::ctx::Ctx::with_branch)), send to a
+//! specific branch, or broadcast to all branches.
+//!
+//! Branches are created at program start on every PE from a configuration
+//! value cloned per PE, in registration order.
+
+use crate::ctx::Ctx;
+use crate::envelope::MsgBody;
+use crate::ids::EpId;
+
+/// One branch of a branch-office chare.
+pub trait Branch: Send + 'static {
+    /// Handle one message addressed to entry point `ep` of this branch.
+    fn entry(&mut self, ep: EpId, msg: MsgBody, ctx: &mut Ctx);
+}
+
+/// A BOC type constructible on every PE from shared configuration.
+///
+/// Register with [`ProgramBuilder::boc`](crate::program::ProgramBuilder::boc)
+/// to obtain the [`Boc`](crate::ids::Boc) handle.
+pub trait BranchInit: Branch + Sized {
+    /// Per-program configuration, cloned to every PE.
+    type Cfg: Clone + Send + Sync + 'static;
+
+    /// Construct this PE's branch at boot. `ctx.pe()` identifies the PE;
+    /// boot-time sends are allowed and are delivered once the machine
+    /// starts.
+    fn create(cfg: Self::Cfg, ctx: &mut Ctx) -> Self;
+}
+
+/// Object-safe branch storage: [`Branch`] plus `Any` downcasting so
+/// [`Ctx::with_branch`](crate::ctx::Ctx::with_branch) can recover the
+/// concrete type. Blanket-implemented; never implement manually.
+pub(crate) trait BranchObj: Branch {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+impl<B: Branch> BranchObj for B {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,477 @@
+//! The kernel context handed to every entry method.
+//!
+//! `Ctx` is the whole programming interface of the kernel: creating
+//! chares, sending messages, branch-office operations, specifically
+//! shared variables, quiescence detection and program exit. It borrows
+//! the executing PE's node and the machine's network context for the
+//! duration of one entry-method execution.
+
+use std::sync::Arc;
+
+use multicomputer::{Cost, NetCtx, Pe};
+
+use crate::boc::Branch;
+use crate::chare::ChareInit;
+use crate::envelope::{SysMsg, PLACED};
+use crate::ids::{Boc, BocId, ChareId, EpId, Kind, Notify, WoId};
+use crate::msg::Message;
+use crate::node::{CkNode, CollectState};
+use crate::priority::Priority;
+use crate::shared::{Acc, Accum, Mono, MonoVar, ReadOnly, TableRef};
+
+/// What kind of object is currently executing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Current {
+    /// A chare entry method (or constructor).
+    Chare(ChareId),
+    /// A branch entry method (or boot-time construction).
+    Branch(BocId),
+}
+
+/// Kernel services available inside an entry method.
+pub struct Ctx<'a> {
+    pub(crate) node: &'a mut CkNode,
+    pub(crate) net: &'a mut dyn NetCtx,
+    pub(crate) current: Current,
+    /// Set by [`Ctx::destroy_self`]; the scheduler frees the chare slot
+    /// after the entry method returns.
+    pub(crate) destroy_requested: bool,
+}
+
+impl<'a> Ctx<'a> {
+    pub(crate) fn new(node: &'a mut CkNode, net: &'a mut dyn NetCtx, current: Current) -> Self {
+        Ctx {
+            node,
+            net,
+            current,
+            destroy_requested: false,
+        }
+    }
+
+    // -- Identity and machine info ------------------------------------
+
+    /// The PE this entry method runs on.
+    pub fn pe(&self) -> Pe {
+        self.node.pe
+    }
+
+    /// Number of PEs in the machine.
+    pub fn npes(&self) -> usize {
+        self.node.npes
+    }
+
+    /// Current time in nanoseconds (simulated or wall clock, depending
+    /// on the backend).
+    pub fn now_ns(&self) -> u64 {
+        self.net.now_ns()
+    }
+
+    /// The executing chare's own id.
+    ///
+    /// # Panics
+    /// Panics when called from a branch entry method.
+    pub fn self_id(&self) -> ChareId {
+        match self.current {
+            Current::Chare(id) => id,
+            Current::Branch(_) => panic!("self_id called outside a chare entry method"),
+        }
+    }
+
+    /// Charge simulated compute time for work this handler performs
+    /// (no-op on the thread backend, where real work takes real time).
+    pub fn charge(&mut self, cost: Cost) {
+        self.net.charge(cost);
+    }
+
+    /// The executing branch's own BOC handle, typed as `B`.
+    ///
+    /// # Panics
+    /// Panics when called from a chare entry method. The type parameter
+    /// is trusted — call it only from entry methods of `B` itself.
+    pub fn self_boc<B: Branch>(&self) -> Boc<B> {
+        match self.current {
+            Current::Branch(id) => Boc::new(id),
+            Current::Chare(_) => panic!("self_boc called outside a branch entry method"),
+        }
+    }
+
+    // -- Chare creation and messaging ----------------------------------
+
+    /// Create a new chare of registered type `C` from `seed`. Placement
+    /// is delegated to the program's load balancing strategy; the chare
+    /// may be constructed on any PE. The creator receives no handle —
+    /// pass your own [`ChareId`] in the seed if you need a reply (the
+    /// kernel's idiom).
+    pub fn create<C: ChareInit>(&mut self, kind: Kind<C>, seed: C::Seed) {
+        self.create_prio(kind, seed, Priority::None);
+    }
+
+    /// [`Ctx::create`] with an explicit scheduling priority.
+    pub fn create_prio<C: ChareInit>(&mut self, kind: Kind<C>, seed: C::Seed, prio: Priority) {
+        let bytes = seed.bytes();
+        self.node
+            .place_seed(self.net, kind.id, Box::new(seed), bytes, prio, 0);
+    }
+
+    /// Create a chare on a specific PE, bypassing load balancing.
+    pub fn create_on<C: ChareInit>(&mut self, pe: Pe, kind: Kind<C>, seed: C::Seed) {
+        self.create_on_prio(pe, kind, seed, Priority::None);
+    }
+
+    /// [`Ctx::create_on`] with an explicit scheduling priority.
+    pub fn create_on_prio<C: ChareInit>(
+        &mut self,
+        pe: Pe,
+        kind: Kind<C>,
+        seed: C::Seed,
+        prio: Priority,
+    ) {
+        let bytes = seed.bytes();
+        if pe == self.node.pe {
+            // Settle locally without a network round trip, like the
+            // kernel's local-creation fast path.
+            self.node
+                .place_seed(self.net, kind.id, Box::new(seed), bytes, prio, PLACED);
+        } else {
+            self.node.post(
+                self.net,
+                pe,
+                SysMsg::NewChare {
+                    kind: kind.id,
+                    seed: Box::new(seed),
+                    bytes,
+                    prio,
+                    hops: PLACED,
+                },
+            );
+        }
+    }
+
+    /// Send `msg` to entry point `ep` of chare `target`.
+    pub fn send<M: Message>(&mut self, target: ChareId, ep: EpId, msg: M) {
+        self.send_prio(target, ep, msg, Priority::None);
+    }
+
+    /// [`Ctx::send`] with an explicit scheduling priority.
+    pub fn send_prio<M: Message>(&mut self, target: ChareId, ep: EpId, msg: M, prio: Priority) {
+        let bytes = msg.bytes();
+        let to = target.pe;
+        self.node.post(
+            self.net,
+            to,
+            SysMsg::ChareMsg {
+                target,
+                ep,
+                body: Box::new(msg),
+                bytes,
+                prio,
+            },
+        );
+    }
+
+    /// Destroy the executing chare after this entry method returns.
+    /// Messages still in flight to it become dead letters.
+    ///
+    /// # Panics
+    /// Panics when called from a branch entry method (branches live for
+    /// the whole program).
+    pub fn destroy_self(&mut self) {
+        match self.current {
+            Current::Chare(_) => self.destroy_requested = true,
+            Current::Branch(_) => panic!("branches cannot be destroyed"),
+        }
+    }
+
+    // -- Branch-office chares ------------------------------------------
+
+    /// Send `msg` to entry point `ep` of the branch of `boc` on `pe`.
+    pub fn send_branch<B: Branch, M: Message>(&mut self, boc: Boc<B>, pe: Pe, ep: EpId, msg: M) {
+        self.send_branch_prio(boc, pe, ep, msg, Priority::None);
+    }
+
+    /// [`Ctx::send_branch`] with an explicit priority.
+    pub fn send_branch_prio<B: Branch, M: Message>(
+        &mut self,
+        boc: Boc<B>,
+        pe: Pe,
+        ep: EpId,
+        msg: M,
+        prio: Priority,
+    ) {
+        let bytes = msg.bytes();
+        self.node.post(
+            self.net,
+            pe,
+            SysMsg::BranchMsg {
+                boc: boc.id,
+                ep,
+                body: Box::new(msg),
+                bytes,
+                prio,
+            },
+        );
+    }
+
+    /// Send a copy of `msg` to entry point `ep` of every branch of
+    /// `boc` (including this PE's). Distributed along the kernel's
+    /// spanning tree unless the program selected direct broadcasts.
+    pub fn broadcast_branch<B: Branch, M: Message + Clone + Sync>(
+        &mut self,
+        boc: Boc<B>,
+        ep: EpId,
+        msg: M,
+    ) {
+        let bytes = msg.bytes();
+        let boc_id = boc.id;
+        self.node.post_broadcast(
+            self.net,
+            true,
+            Arc::new(move || SysMsg::BranchMsg {
+                boc: boc_id,
+                ep,
+                body: Box::new(msg.clone()),
+                bytes,
+                prio: Priority::None,
+            }),
+        );
+    }
+
+    /// Call this PE's local branch of `boc` synchronously — the paper's
+    /// "local branch call", used for fast PE-local services.
+    ///
+    /// # Panics
+    /// Panics if `boc`'s branch is the object currently executing
+    /// (re-entrant local calls are not allowed) or if `B` is not the
+    /// branch's type.
+    pub fn with_branch<B: Branch, R>(
+        &mut self,
+        boc: Boc<B>,
+        f: impl FnOnce(&mut B, &mut Ctx) -> R,
+    ) -> R {
+        let slot = boc.id.0 as usize;
+        let mut obj = self
+            .node
+            .branches
+            .get_mut(slot)
+            .and_then(|s| s.take())
+            .unwrap_or_else(|| panic!("branch {slot} unavailable (re-entrant call?)"));
+        let result = {
+            let b = obj
+                .as_any_mut()
+                .downcast_mut::<B>()
+                .expect("branch type mismatch");
+            f(b, self)
+        };
+        self.node.branches[slot] = Some(obj);
+        result
+    }
+
+    // -- Specifically shared variables ----------------------------------
+
+    /// Read a read-only variable (replicated at program build).
+    pub fn read_only<T: Send + Sync + 'static>(&self, ro: ReadOnly<T>) -> Arc<T> {
+        Arc::clone(&self.node.reg.read_only[ro.id.0 as usize])
+            .downcast::<T>()
+            .expect("read-only variable type mismatch")
+    }
+
+    /// Fold `delta` into this PE's partial of accumulator `acc`.
+    /// No communication happens until a collect.
+    pub fn acc_add<A: Accum>(&mut self, acc: Acc<A>, delta: A::V) {
+        let entry = &self.node.reg.accs[acc.id.0 as usize];
+        (entry.combine)(
+            &mut self.node.acc_vals[acc.id.0 as usize],
+            Box::new(delta),
+        );
+    }
+
+    /// Collect accumulator `acc` across all PEs: every PE's partial is
+    /// taken (and reset to the identity), combined, and delivered to
+    /// `notify` as an [`AccResult<A::V>`](crate::shared::AccResult).
+    pub fn acc_collect<A: Accum>(&mut self, acc: Acc<A>, notify: Notify) {
+        self.node.counters.acc_collects += 1;
+        let token = ((self.node.pe.index() as u64) << 40) | self.node.collect_counter;
+        self.node.collect_counter += 1;
+        let me = self.node.pe;
+        self.node.collect_notifies.insert(token, notify);
+        if self.node.bcast_mode == crate::bcast::BroadcastMode::Direct {
+            // Flat gather: expect one partial from every PE.
+            let init = (self.node.reg.accs[acc.id.0 as usize].init)();
+            self.node
+                .collects
+                .insert(token, CollectState::new(acc.id, me, self.node.npes, init));
+        }
+        // Tree mode builds its reduction state when the collect request
+        // reaches each PE (including this one).
+        let acc_id = acc.id;
+        self.node.post_broadcast(
+            self.net,
+            true,
+            std::sync::Arc::new(move || SysMsg::AccCollect {
+                acc: acc_id,
+                token,
+                requester: me,
+            }),
+        );
+    }
+
+    /// Publish an improvement to monotonic variable `mono`. If it beats
+    /// this PE's current value it is stored and broadcast; otherwise it
+    /// is dropped (someone already knew better).
+    pub fn mono_update<M: Mono>(&mut self, mono: MonoVar<M>, value: M::V) {
+        let idx = mono.id.0 as usize;
+        let reg = Arc::clone(&self.node.reg);
+        let entry = &reg.monos[idx];
+        let boxed: crate::envelope::MsgBody = Box::new(value);
+        if !(entry.better)(&boxed, &self.node.mono_vals[idx]) {
+            return;
+        }
+        self.node.counters.mono_broadcasts += 1;
+        self.node.counters.mono_applied += 1;
+        let gen = (entry.make_update_gen)(&boxed, mono.id);
+        self.node.post_broadcast(self.net, false, gen);
+        self.node.mono_vals[idx] = boxed;
+    }
+
+    /// Read this PE's current value of monotonic variable `mono`. May
+    /// lag the global best — safe when used as a conservative bound.
+    pub fn mono_get<M: Mono>(&self, mono: MonoVar<M>) -> M::V {
+        self.node.mono_vals[mono.id.0 as usize]
+            .downcast_ref::<M::V>()
+            .expect("monotonic variable type mismatch")
+            .clone()
+    }
+
+    /// Which PE owns `key` in distributed tables.
+    pub fn table_home(&self, key: u64) -> Pe {
+        Pe::from((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.node.npes)
+    }
+
+    /// Insert `(key, value)` into table `table`. If `notify` is given, a
+    /// [`TableAck`](crate::shared::TableAck) is delivered on completion.
+    pub fn table_put<V: Clone + Send + 'static>(
+        &mut self,
+        table: TableRef<V>,
+        key: u64,
+        value: V,
+        notify: Option<Notify>,
+    ) {
+        let home = self.table_home(key);
+        let bytes = std::mem::size_of::<V>() as u32;
+        self.node.post(
+            self.net,
+            home,
+            SysMsg::TablePut {
+                table: table.id,
+                key,
+                value: Box::new(value),
+                bytes,
+                notify,
+            },
+        );
+    }
+
+    /// Look up `key` in `table`; a [`TableGot<V>`](crate::shared::TableGot)
+    /// is delivered to `notify`.
+    pub fn table_get<V: Clone + Send + 'static>(
+        &mut self,
+        table: TableRef<V>,
+        key: u64,
+        notify: Notify,
+    ) {
+        let home = self.table_home(key);
+        self.node.post(
+            self.net,
+            home,
+            SysMsg::TableGet {
+                table: table.id,
+                key,
+                notify,
+            },
+        );
+    }
+
+    /// Delete `key` from `table`. If `notify` is given, a
+    /// [`TableAck`](crate::shared::TableAck) reports whether it existed.
+    pub fn table_delete<V: Clone + Send + 'static>(
+        &mut self,
+        table: TableRef<V>,
+        key: u64,
+        notify: Option<Notify>,
+    ) {
+        let home = self.table_home(key);
+        self.node.post(
+            self.net,
+            home,
+            SysMsg::TableDelete {
+                table: table.id,
+                key,
+                notify,
+            },
+        );
+    }
+
+    /// Create a write-once variable holding `value`. The value is
+    /// replicated to every PE; when replication completes, a
+    /// [`WoReady`](crate::shared::WoReady) carrying the new [`WoId`] is
+    /// delivered to `notify`, after which any PE may read it with
+    /// [`Ctx::wo_get`].
+    pub fn write_once<T: Send + Sync + 'static>(&mut self, value: T, notify: Notify) -> WoId {
+        let id = WoId::new(self.node.pe, self.node.wo_counter);
+        self.node.wo_counter += 1;
+        let arc: Arc<dyn std::any::Any + Send + Sync> = Arc::new(value);
+        let bytes = std::mem::size_of::<T>() as u32;
+        self.node.wo_pending.insert(id, (self.node.npes, notify));
+        self.node.post_broadcast(
+            self.net,
+            true,
+            Arc::new(move || SysMsg::WoStore {
+                wo: id,
+                value: Arc::clone(&arc),
+                bytes,
+            }),
+        );
+        id
+    }
+
+    /// Read a replicated write-once variable.
+    ///
+    /// # Panics
+    /// Panics if the variable has not been replicated to this PE yet —
+    /// only read it after the [`WoReady`](crate::shared::WoReady)
+    /// notification.
+    pub fn wo_get<T: Send + Sync + 'static>(&self, id: WoId) -> Arc<T> {
+        Arc::clone(
+            self.node
+                .wo_store
+                .get(&id)
+                .expect("write-once variable not (yet) replicated on this PE"),
+        )
+        .downcast::<T>()
+        .expect("write-once variable type mismatch")
+    }
+
+    // -- Quiescence and termination --------------------------------------
+
+    /// Ask the kernel to deliver a
+    /// [`QuiescenceMsg`](crate::shared::QuiescenceMsg) to `notify` once
+    /// no user message is queued or in flight anywhere.
+    pub fn start_quiescence(&mut self, notify: Notify) {
+        self.node.post(self.net, Pe::ZERO, SysMsg::QdStart { notify });
+    }
+
+    /// End the program (the kernel's `CkExit`), recording `result` as
+    /// the program's result. Queued and in-flight messages are
+    /// discarded.
+    pub fn exit<R: Send + 'static>(&mut self, result: R) {
+        self.net.deposit(Box::new(result));
+        self.net.stop();
+    }
+
+    /// Number of runnable user messages queued on this PE (exposed for
+    /// adaptive grain-size decisions, as some kernel programs used).
+    pub fn local_backlog(&self) -> usize {
+        self.node.user_load()
+    }
+}
+

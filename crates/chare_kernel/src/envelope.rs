@@ -1,0 +1,351 @@
+//! Kernel-internal message envelopes.
+//!
+//! Every packet between kernel nodes carries one [`SysMsg`]. User-level
+//! traffic (new-chare seeds, chare messages, branch messages, shared-
+//! variable operations) is *counted* for quiescence detection; kernel
+//! control traffic (QD waves, load reports, work-request tokens) is not.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use multicomputer::Pe;
+
+use crate::ids::{AccId, BocId, ChareId, ChareKind, EpId, MonoId, Notify, TableId, WoId};
+use crate::priority::Priority;
+
+/// An owned, untyped message body (same shape as the machine layer's
+/// payload, kept separate so kernel code reads clearly).
+pub type MsgBody = Box<dyn Any + Send>;
+
+/// Fixed per-envelope header size charged to the network cost model,
+/// approximating the C kernel's envelope struct.
+pub const ENVELOPE_HEADER: u32 = 24;
+
+/// Hop count marking a seed whose placement was decided explicitly
+/// (`create_on`) — load balancers must keep it where it lands.
+pub const PLACED: u32 = u32::MAX;
+
+/// Generator of broadcast payload copies: called once per PE reached by
+/// a spanning-tree broadcast.
+pub type CastGen = Arc<dyn Fn() -> SysMsg + Send + Sync>;
+
+/// The kernel-to-kernel wire protocol.
+pub enum SysMsg {
+    /// Several messages for the same destination PE combined into one
+    /// packet (one network alpha instead of one per message). Inner
+    /// messages were counted individually at send time; the batch
+    /// wrapper itself is not counted.
+    Batch(Vec<SysMsg>),
+    /// A spanning-tree broadcast in flight: the receiving PE forwards it
+    /// to its subtree children, then applies `gen()` locally.
+    TreeCast {
+        /// Root of the broadcast.
+        origin: Pe,
+        /// Whether the carried message is user traffic (for quiescence
+        /// counting; precomputed so counting never invokes `gen`).
+        counted: bool,
+        /// Wire size of one carried copy.
+        bytes: u32,
+        /// Produces the carried message.
+        gen: CastGen,
+    },
+    /// A seed for a new chare, still subject to load balancing (unless
+    /// `hops == PLACED`).
+    NewChare {
+        /// Which registered chare type to instantiate.
+        kind: ChareKind,
+        /// The constructor message.
+        seed: MsgBody,
+        /// Wire size of the seed.
+        bytes: u32,
+        /// Scheduling priority of the creation.
+        prio: Priority,
+        /// Number of load-balancer forwards so far.
+        hops: u32,
+    },
+    /// A message for an existing chare's entry point.
+    ChareMsg {
+        /// Destination chare (its `pe` equals the packet destination).
+        target: ChareId,
+        /// Entry point to invoke.
+        ep: EpId,
+        /// Message body.
+        body: MsgBody,
+        /// Wire size of the body.
+        bytes: u32,
+        /// Scheduling priority.
+        prio: Priority,
+    },
+    /// A message for the local branch of a branch-office chare.
+    BranchMsg {
+        /// Destination BOC.
+        boc: BocId,
+        /// Entry point to invoke.
+        ep: EpId,
+        /// Message body.
+        body: MsgBody,
+        /// Wire size of the body.
+        bytes: u32,
+        /// Scheduling priority.
+        prio: Priority,
+    },
+    /// Accumulator collect request: every PE must send its (destructively
+    /// read) partial to `requester` tagged with `token`.
+    AccCollect {
+        /// Which accumulator.
+        acc: AccId,
+        /// Correlation token for this collect.
+        token: u64,
+        /// PE gathering the partials.
+        requester: Pe,
+    },
+    /// One PE's partial accumulator value.
+    AccPart {
+        /// Which accumulator.
+        acc: AccId,
+        /// Correlation token.
+        token: u64,
+        /// The partial value (an `A::V`).
+        part: MsgBody,
+    },
+    /// A monotonic-variable improvement broadcast.
+    MonoUpdate {
+        /// Which variable.
+        mono: MonoId,
+        /// The improved value (an `M::V`).
+        value: MsgBody,
+    },
+    /// Insert into a distributed table shard (the destination PE owns the
+    /// key).
+    TablePut {
+        /// Which table.
+        table: TableId,
+        /// Key.
+        key: u64,
+        /// Value (a `V`).
+        value: MsgBody,
+        /// Wire size of the value.
+        bytes: u32,
+        /// Optional completion notification.
+        notify: Option<Notify>,
+    },
+    /// Look up a key; the shard replies with a `TableGot<V>` to `notify`.
+    TableGet {
+        /// Which table.
+        table: TableId,
+        /// Key.
+        key: u64,
+        /// Where the reply goes.
+        notify: Notify,
+    },
+    /// Delete a key.
+    TableDelete {
+        /// Which table.
+        table: TableId,
+        /// Key.
+        key: u64,
+        /// Optional completion notification.
+        notify: Option<Notify>,
+    },
+    /// Replicate a write-once value onto the destination PE.
+    WoStore {
+        /// The variable's id.
+        wo: WoId,
+        /// The shared value.
+        value: Arc<dyn Any + Send + Sync>,
+        /// Wire size of the value.
+        bytes: u32,
+    },
+    /// Acknowledge a `WoStore` back to the creator.
+    WoAck {
+        /// The variable's id.
+        wo: WoId,
+    },
+    /// Ask PE 0 to run quiescence detection and notify `notify` when the
+    /// computation quiesces.
+    QdStart {
+        /// Who to tell.
+        notify: Notify,
+    },
+    /// Coordinator poll: report your counters for `wave`.
+    QdPoll {
+        /// Wave number.
+        wave: u64,
+    },
+    /// One PE's reply to a poll.
+    QdCount {
+        /// Wave number this reply answers.
+        wave: u64,
+        /// Counted user messages sent so far.
+        sent: u64,
+        /// Counted user messages received so far.
+        recv: u64,
+        /// Whether the PE had no queued user work at reply time.
+        idle: bool,
+    },
+    /// Load report for the balancing strategies.
+    LoadStatus {
+        /// Sender's runnable backlog.
+        load: u32,
+    },
+    /// Token-strategy work request from an idle PE. Idle PEs with no
+    /// spare work forward the request onward (a random walk over the
+    /// neighbor graph) until it finds a busy PE or its TTL expires.
+    WorkReq {
+        /// The PE that wants work.
+        origin: Pe,
+        /// Remaining forwarding hops.
+        ttl: u8,
+    },
+    /// Negative response to a `WorkReq`.
+    WorkNack,
+}
+
+impl SysMsg {
+    /// Whether this message counts as user activity for quiescence
+    /// detection.
+    pub fn counted(&self) -> bool {
+        match self {
+            SysMsg::Batch(_) => false, // inners counted individually
+            SysMsg::TreeCast { counted, .. } => *counted,
+            SysMsg::QdStart { .. }
+            | SysMsg::QdPoll { .. }
+            | SysMsg::QdCount { .. }
+            | SysMsg::LoadStatus { .. }
+            | SysMsg::WorkReq { .. }
+            | SysMsg::WorkNack => false,
+            _ => true,
+        }
+    }
+
+    /// Wire size charged to the network cost model.
+    pub fn wire_bytes(&self) -> u32 {
+        ENVELOPE_HEADER
+            + match self {
+                // One shared header; inner payloads keep their own
+                // per-record framing minus the per-message envelope.
+                SysMsg::Batch(inner) => inner
+                    .iter()
+                    .map(|m| m.wire_bytes() - ENVELOPE_HEADER + 2)
+                    .sum(),
+                SysMsg::TreeCast { bytes, .. } => 8 + bytes,
+                SysMsg::NewChare { bytes, prio, .. } => 8 + bytes + prio.wire_bytes(),
+                SysMsg::ChareMsg { bytes, prio, .. } => 16 + bytes + prio.wire_bytes(),
+                SysMsg::BranchMsg { bytes, prio, .. } => 8 + bytes + prio.wire_bytes(),
+                SysMsg::AccCollect { .. } => 16,
+                SysMsg::AccPart { .. } => 16, // plus value, approximated flat
+                SysMsg::MonoUpdate { .. } => 16,
+                SysMsg::TablePut { bytes, .. } => 16 + bytes,
+                SysMsg::TableGet { .. } => 24,
+                SysMsg::TableDelete { .. } => 24,
+                SysMsg::WoStore { bytes, .. } => 8 + bytes,
+                SysMsg::WoAck { .. } => 8,
+                SysMsg::QdStart { .. } => 16,
+                SysMsg::QdPoll { .. } => 8,
+                SysMsg::QdCount { .. } => 25,
+                SysMsg::LoadStatus { .. } => 4,
+                SysMsg::WorkReq { .. } => 5,
+                SysMsg::WorkNack => 0,
+            }
+    }
+}
+
+/// One unit of runnable user work in a PE's scheduler queue.
+pub enum WorkItem {
+    /// Construct a new chare from its seed.
+    NewChare {
+        /// Registered type.
+        kind: ChareKind,
+        /// Constructor message.
+        seed: MsgBody,
+        /// Wire size (kept for token-strategy re-forwarding).
+        bytes: u32,
+        /// Priority (kept for re-forwarding).
+        prio: Priority,
+    },
+    /// Deliver a message to a local chare.
+    ChareMsg {
+        /// Slot in the local chare table.
+        local: u32,
+        /// Entry point.
+        ep: EpId,
+        /// Message body.
+        body: MsgBody,
+    },
+    /// Deliver a message to the local branch of a BOC.
+    BranchMsg {
+        /// Which BOC.
+        boc: BocId,
+        /// Entry point.
+        ep: EpId,
+        /// Message body.
+        body: MsgBody,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_messages_are_not_counted() {
+        assert!(!SysMsg::QdPoll { wave: 1 }.counted());
+        assert!(!SysMsg::LoadStatus { load: 3 }.counted());
+        assert!(!SysMsg::WorkReq {
+            origin: Pe(0),
+            ttl: 8
+        }
+        .counted());
+        assert!(!SysMsg::WorkNack.counted());
+        assert!(!SysMsg::QdCount {
+            wave: 1,
+            sent: 0,
+            recv: 0,
+            idle: true
+        }
+        .counted());
+    }
+
+    #[test]
+    fn user_messages_are_counted() {
+        let m = SysMsg::ChareMsg {
+            target: ChareId {
+                pe: Pe(0),
+                local: 0,
+            },
+            ep: EpId(0),
+            body: Box::new(1u32),
+            bytes: 4,
+            prio: Priority::None,
+        };
+        assert!(m.counted());
+        let n = SysMsg::NewChare {
+            kind: ChareKind(0),
+            seed: Box::new(()),
+            bytes: 0,
+            prio: Priority::None,
+            hops: 0,
+        };
+        assert!(n.counted());
+        assert!(SysMsg::MonoUpdate {
+            mono: MonoId(0),
+            value: Box::new(1u32)
+        }
+        .counted());
+    }
+
+    #[test]
+    fn wire_bytes_include_header_and_payload() {
+        let m = SysMsg::ChareMsg {
+            target: ChareId {
+                pe: Pe(0),
+                local: 0,
+            },
+            ep: EpId(0),
+            body: Box::new(0u64),
+            bytes: 100,
+            prio: Priority::None,
+        };
+        assert_eq!(m.wire_bytes(), ENVELOPE_HEADER + 16 + 100 + 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! Identifiers for kernel-managed entities.
+//!
+//! The C-era Chare Kernel addressed everything through small integer
+//! handles filled in by its translator; we use newtypes so the compiler
+//! keeps chare ids, entry points, branch-office ids and shared-variable
+//! ids apart.
+
+use multicomputer::Pe;
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Index of a registered chare *type* (the paper's "chare definition").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ChareKind(pub u32);
+
+/// Typed wrapper over [`ChareKind`] returned by registration, so that
+/// `create` calls can type-check the seed message.
+pub struct Kind<C> {
+    /// The untyped kind index.
+    pub id: ChareKind,
+    pub(crate) _marker: PhantomData<fn() -> C>,
+}
+
+impl<C> Kind<C> {
+    pub(crate) fn new(id: ChareKind) -> Self {
+        Kind {
+            id,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<C> Clone for Kind<C> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<C> Copy for Kind<C> {}
+
+impl<C> fmt::Debug for Kind<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Kind({})", self.id.0)
+    }
+}
+
+/// Identity of one live chare instance: the PE it lives on plus a local
+/// slot. Chares never migrate after placement, so the pair is stable for
+/// the chare's lifetime (exactly the property the paper's seed-based load
+/// balancing relies on: only *unborn* chares move).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChareId {
+    /// PE hosting the chare.
+    pub pe: Pe,
+    /// Slot within that PE's chare table.
+    pub local: u32,
+}
+
+impl fmt::Debug for ChareId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Chare({}:{})", self.pe, self.local)
+    }
+}
+
+/// An entry point within a chare or branch-office chare. Applications
+/// define their own constants (`const DONE: EpId = EpId(2);`), mirroring
+/// the kernel's entry-point tables.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EpId(pub u32);
+
+/// Identifier of a branch-office chare; the same id addresses the branch
+/// on every PE.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BocId(pub u32);
+
+/// Typed branch-office handle.
+pub struct Boc<B> {
+    /// The untyped BOC index.
+    pub id: BocId,
+    pub(crate) _marker: PhantomData<fn() -> B>,
+}
+
+impl<B> Boc<B> {
+    pub(crate) fn new(id: BocId) -> Self {
+        Boc {
+            id,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<B> Clone for Boc<B> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<B> Copy for Boc<B> {}
+
+impl<B> fmt::Debug for Boc<B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Boc({})", self.id.0)
+    }
+}
+
+/// Identifier of an accumulator variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct AccId(pub u32);
+
+/// Identifier of a monotonic variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MonoId(pub u32);
+
+/// Identifier of a distributed table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TableId(pub u32);
+
+/// Identifier of a read-only variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RoId(pub u32);
+
+/// Identifier of a write-once variable (allocated at runtime; globally
+/// unique: creating PE in the high bits, creation counter in the low).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct WoId(pub u64);
+
+impl WoId {
+    pub(crate) fn new(pe: Pe, counter: u32) -> Self {
+        WoId(((pe.index() as u64) << 32) | counter as u64)
+    }
+
+    /// The PE that created this variable.
+    pub fn creator(self) -> Pe {
+        Pe((self.0 >> 32) as u32)
+    }
+}
+
+/// Where to deliver a kernel-generated notification message (quiescence,
+/// collected accumulator value, write-once readiness, table replies).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Notify {
+    /// Deliver to a chare's entry point.
+    Chare(ChareId, EpId),
+    /// Deliver to one branch of a branch-office chare.
+    Branch(BocId, Pe, EpId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wo_id_encodes_creator() {
+        let id = WoId::new(Pe(3), 17);
+        assert_eq!(id.creator(), Pe(3));
+        let id2 = WoId::new(Pe(3), 18);
+        assert_ne!(id, id2);
+    }
+
+    #[test]
+    fn chare_id_debug() {
+        let id = ChareId {
+            pe: Pe(2),
+            local: 5,
+        };
+        assert_eq!(format!("{id:?}"), "Chare(2:5)");
+    }
+
+    #[test]
+    fn typed_handles_are_copy() {
+        struct Foo;
+        let k: Kind<Foo> = Kind::new(ChareKind(1));
+        let k2 = k;
+        assert_eq!(k.id, k2.id);
+        let b: Boc<Foo> = Boc::new(BocId(2));
+        let b2 = b;
+        assert_eq!(b.id, b2.id);
+    }
+
+    #[test]
+    fn notify_variants_compare() {
+        let a = Notify::Chare(
+            ChareId {
+                pe: Pe(0),
+                local: 1,
+            },
+            EpId(2),
+        );
+        let b = Notify::Branch(BocId(0), Pe(1), EpId(2));
+        assert_ne!(a, b);
+    }
+}

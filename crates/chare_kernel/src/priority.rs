@@ -1,0 +1,327 @@
+//! Message priorities, including the kernel's bitvector priorities.
+//!
+//! The paper's queueing-strategy experiments showed that speculative
+//! parallel search (branch & bound, IDA*) needs *prioritized* scheduling
+//! to avoid exploding the search space. Two priority forms are provided,
+//! matching the kernel:
+//!
+//! * **Integer priorities** — smaller value = more urgent.
+//! * **Bitvector priorities** ([`BitPrio`]) — variable-length bit strings
+//!   compared lexicographically as binary fractions (shorter strings are
+//!   padded with zeros). Their power: a tree search can give every node a
+//!   priority that is its *path* from the root, so the global scheduling
+//!   order is exactly depth-first-leftmost over the whole distributed
+//!   tree — impossible to express with fixed-width integers at depth.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Priority attached to a message. `None` sorts after any explicit
+/// priority of the same class; under FIFO/LIFO strategies priorities are
+/// ignored entirely.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// No particular urgency.
+    #[default]
+    None,
+    /// Integer priority; smaller = more urgent.
+    Int(i64),
+    /// Bitvector priority; lexicographically smaller = more urgent.
+    Bits(BitPrio),
+}
+
+impl Priority {
+    /// Integer key for the integer-priority queue. `None` maps to 0 (the
+    /// most common "default urgency" convention); bitvector priorities
+    /// map to their first 63 bits so mixed programs still get a sensible
+    /// order.
+    pub fn int_key(&self) -> i64 {
+        match self {
+            Priority::None => 0,
+            Priority::Int(v) => *v,
+            Priority::Bits(b) => b.prefix_key() as i64,
+        }
+    }
+
+    /// Bit key for the bitvector-priority queue. `None` and `Int` map to
+    /// fixed-width encodings so mixed programs still get a total order.
+    pub fn bit_key(&self) -> BitPrio {
+        match self {
+            Priority::None => BitPrio::root(),
+            Priority::Int(v) => {
+                // Order-preserving 64-bit encoding of the integer.
+                let biased = (*v as u64) ^ (1 << 63);
+                let mut b = BitPrio::root();
+                for i in (0..64).rev() {
+                    b = b.child_bit((biased >> i) & 1 == 1);
+                }
+                b
+            }
+            Priority::Bits(b) => b.clone(),
+        }
+    }
+
+    /// Wire size of the priority (for the network cost model).
+    pub fn wire_bytes(&self) -> u32 {
+        match self {
+            Priority::None => 1,
+            Priority::Int(_) => 9,
+            Priority::Bits(b) => 1 + 4 + b.bits.len() as u32,
+        }
+    }
+}
+
+/// A variable-length bitvector priority: a binary fraction in `[0, 1)`,
+/// most significant bit first. Smaller fraction = more urgent.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitPrio {
+    bits: Vec<u8>,
+    /// Number of valid bits; `bits` holds `ceil(len/8)` bytes, padded
+    /// with zero bits.
+    len: u32,
+}
+
+impl BitPrio {
+    /// The empty bitvector — the highest possible priority (fraction 0
+    /// with no refinement).
+    pub fn root() -> BitPrio {
+        BitPrio::default()
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// True for the empty (root) priority.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit `i` (0 = most significant).
+    pub fn bit(&self, i: u32) -> bool {
+        debug_assert!(i < self.len);
+        let byte = self.bits[(i / 8) as usize];
+        (byte >> (7 - (i % 8))) & 1 == 1
+    }
+
+    /// Extend with one bit, returning the refined priority. Appending
+    /// bits makes the priority *less* urgent or equal (it only adds to
+    /// the fraction), so children of a search node never preempt an
+    /// already-more-urgent sibling subtree.
+    pub fn child_bit(&self, bit: bool) -> BitPrio {
+        let mut out = self.clone();
+        let i = out.len;
+        if i.is_multiple_of(8) {
+            out.bits.push(0);
+        }
+        if bit {
+            let idx = (i / 8) as usize;
+            out.bits[idx] |= 1 << (7 - (i % 8));
+        }
+        out.len += 1;
+        out
+    }
+
+    /// Extend with `width` bits encoding `value` (most significant bit
+    /// first). This is how a search assigns child `k` of a node with
+    /// branching factor `2^width` its position-in-tree priority.
+    ///
+    /// # Panics
+    /// Panics if `value` does not fit in `width` bits or `width > 32`.
+    pub fn child(&self, value: u32, width: u32) -> BitPrio {
+        assert!(width <= 32, "width too large");
+        assert!(
+            width == 32 || value < (1u32 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        let mut out = self.clone();
+        for i in (0..width).rev() {
+            out = out.child_bit((value >> i) & 1 == 1);
+        }
+        out
+    }
+
+    /// First 63 bits as an integer (for degraded ordering under the
+    /// integer-priority queue).
+    pub fn prefix_key(&self) -> u64 {
+        let mut key = 0u64;
+        for i in 0..63 {
+            key <<= 1;
+            if i < self.len && self.bit(i) {
+                key |= 1;
+            }
+        }
+        key
+    }
+}
+
+impl PartialOrd for BitPrio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BitPrio {
+    /// Binary-fraction comparison: compare bit by bit, treating the
+    /// shorter vector as padded with zeros. A strict prefix therefore
+    /// compares *equal or smaller*: a parent is never less urgent than
+    /// its children.
+    fn cmp(&self, other: &Self) -> Ordering {
+        let common_bytes = self.bits.len().min(other.bits.len());
+        match self.bits[..common_bytes].cmp(&other.bits[..common_bytes]) {
+            Ordering::Equal => {
+                // All remaining bits of the longer one are compared to
+                // zero padding; any 1 bit makes it larger.
+                let (longer, flip) = if self.bits.len() > common_bytes {
+                    (self, false)
+                } else if other.bits.len() > common_bytes {
+                    (other, true)
+                } else {
+                    return Ordering::Equal;
+                };
+                let any_one = longer.bits[common_bytes..].iter().any(|&b| b != 0);
+                match (any_one, flip) {
+                    (false, _) => Ordering::Equal,
+                    (true, false) => Ordering::Greater,
+                    (true, true) => Ordering::Less,
+                }
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl fmt::Debug for BitPrio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0b")?;
+        for i in 0..self.len {
+            write!(f, "{}", if self.bit(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_is_highest_priority() {
+        let root = BitPrio::root();
+        let child = root.child(3, 4);
+        assert!(root <= child);
+        assert!(root < child.child(0, 1).child(1, 1));
+    }
+
+    #[test]
+    fn lexicographic_order() {
+        let a = BitPrio::root().child(0b01, 2); // 0.01
+        let b = BitPrio::root().child(0b10, 2); // 0.10
+        assert!(a < b);
+    }
+
+    #[test]
+    fn prefix_compares_equal_when_padding_is_zero() {
+        let p = BitPrio::root().child(0b10, 2); // 0.10
+        let q = p.child(0, 3); // 0.10000
+        assert_eq!(p.cmp(&q), Ordering::Equal);
+        let r = p.child(1, 3); // 0.10001
+        assert!(p < r);
+    }
+
+    #[test]
+    fn child_ordering_matches_value_order() {
+        let parent = BitPrio::root().child(1, 2);
+        let kids: Vec<BitPrio> = (0..8).map(|k| parent.child(k, 3)).collect();
+        for w in kids.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // Every child is >= parent.
+        for k in &kids {
+            assert!(parent <= *k);
+        }
+    }
+
+    #[test]
+    fn dfs_order_across_depths() {
+        // Leftmost-deepest beats right siblings at any depth: the whole
+        // subtree under child 0 is more urgent than child 1.
+        let c0 = BitPrio::root().child(0, 1);
+        let c1 = BitPrio::root().child(1, 1);
+        let c0_deep = c0.child(7, 3).child(7, 3);
+        assert!(c0_deep < c1);
+    }
+
+    #[test]
+    fn bit_accessor() {
+        let p = BitPrio::root().child(0b1011, 4);
+        assert!(p.bit(0));
+        assert!(!p.bit(1));
+        assert!(p.bit(2));
+        assert!(p.bit(3));
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn crosses_byte_boundaries() {
+        let mut p = BitPrio::root();
+        for i in 0..20 {
+            p = p.child_bit(i % 3 == 0);
+        }
+        assert_eq!(p.len(), 20);
+        for i in 0..20 {
+            assert_eq!(p.bit(i), i % 3 == 0, "bit {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn child_value_must_fit() {
+        let _ = BitPrio::root().child(8, 3);
+    }
+
+    #[test]
+    fn int_key_ordering() {
+        assert!(Priority::Int(-5).int_key() < Priority::Int(3).int_key());
+        assert_eq!(Priority::None.int_key(), 0);
+    }
+
+    #[test]
+    fn bit_key_for_ints_preserves_order() {
+        let lo = Priority::Int(-100).bit_key();
+        let mid = Priority::Int(0).bit_key();
+        let hi = Priority::Int(100).bit_key();
+        assert!(lo < mid);
+        assert!(mid < hi);
+    }
+
+    #[test]
+    fn wire_bytes_reasonable() {
+        assert_eq!(Priority::None.wire_bytes(), 1);
+        assert_eq!(Priority::Int(9).wire_bytes(), 9);
+        let b = Priority::Bits(BitPrio::root().child(5, 9));
+        assert_eq!(b.wire_bytes(), 1 + 4 + 2);
+    }
+
+    #[test]
+    fn prefix_key_monotone_on_samples() {
+        let ps = [
+            BitPrio::root(),
+            BitPrio::root().child(0, 2),
+            BitPrio::root().child(1, 2),
+            BitPrio::root().child(1, 2).child(3, 2),
+            BitPrio::root().child(2, 2),
+            BitPrio::root().child(3, 2),
+        ];
+        for w in ps.windows(2) {
+            assert!(w[0].prefix_key() <= w[1].prefix_key());
+        }
+    }
+
+    #[test]
+    fn debug_format() {
+        let p = BitPrio::root().child(0b101, 3);
+        assert_eq!(format!("{p:?}"), "0b101");
+    }
+}

@@ -1,0 +1,368 @@
+//! Program construction and execution.
+//!
+//! A [`ProgramBuilder`] registers chare types, branch-office chares and
+//! specifically shared variables (mirroring the tables the C kernel's
+//! translator emitted), picks the queueing and load-balancing strategies,
+//! and names the main chare. The resulting [`Program`] is immutable and
+//! reusable: the same program can be run on the discrete-event simulator
+//! at many machine sizes and on the thread backend, which is exactly how
+//! the experiment harness sweeps the paper's parameter spaces.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use multicomputer::{
+    imbalance, Cost, NodeFactory, Payload, Pe, SimConfig, SimMachine, SimTime, ThreadConfig,
+    ThreadMachine, Topology,
+};
+use multicomputer::{MachinePreset, NodeStats};
+
+use crate::balance::BalanceStrategy;
+use crate::bcast::BroadcastMode;
+use crate::boc::BranchInit;
+use crate::chare::ChareInit;
+use crate::ids::{Boc, BocId, ChareKind, Kind, RoId};
+use crate::msg::Message;
+use crate::node::{CkNode, NodeOptions};
+use crate::queueing::QueueingStrategy;
+use crate::registry::{AccEntry, BocEntry, ChareEntry, MainSpec, MonoEntry, Registry, TableEntry};
+use crate::shared::{Acc, Accum, Mono, MonoVar, ReadOnly, TableRef};
+
+/// Builder for a chare-kernel program.
+pub struct ProgramBuilder {
+    reg: Registry,
+    queueing: QueueingStrategy,
+    balance: BalanceStrategy,
+    bcast: BroadcastMode,
+    combining: bool,
+    rng_seed: u64,
+}
+
+impl Default for ProgramBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProgramBuilder {
+    /// A builder with FIFO queueing, no load balancing, and a fixed
+    /// default RNG seed (runs are deterministic unless reseeded).
+    pub fn new() -> Self {
+        ProgramBuilder {
+            reg: Registry::new(),
+            queueing: QueueingStrategy::Fifo,
+            balance: BalanceStrategy::Local,
+            bcast: BroadcastMode::Tree,
+            combining: false,
+            rng_seed: 0x5EED_CAFE,
+        }
+    }
+
+    /// Register a chare type; the returned [`Kind`] is used with
+    /// [`Ctx::create`](crate::ctx::Ctx::create).
+    pub fn chare<C: ChareInit>(&mut self) -> Kind<C> {
+        let id = ChareKind(self.reg.chares.len() as u32);
+        self.reg.chares.push(ChareEntry::of::<C>());
+        Kind::new(id)
+    }
+
+    /// Register a branch-office chare; one branch is constructed on
+    /// every PE at boot from a clone of `cfg`.
+    pub fn boc<B: BranchInit>(&mut self, cfg: B::Cfg) -> Boc<B> {
+        let id = BocId(self.reg.bocs.len() as u32);
+        self.reg.bocs.push(BocEntry::of::<B>(cfg));
+        Boc::new(id)
+    }
+
+    /// Register a read-only variable, replicated to every PE.
+    pub fn read_only<T: Send + Sync + 'static>(&mut self, value: T) -> ReadOnly<T> {
+        let id = RoId(self.reg.read_only.len() as u32);
+        self.reg.read_only.push(Arc::new(value));
+        ReadOnly::new(id)
+    }
+
+    /// Register an accumulator variable.
+    pub fn accumulator<A: Accum>(&mut self) -> Acc<A> {
+        let id = crate::ids::AccId(self.reg.accs.len() as u32);
+        self.reg.accs.push(AccEntry::of::<A>());
+        Acc::new(id)
+    }
+
+    /// Register a monotonic variable.
+    pub fn monotonic<M: Mono>(&mut self) -> MonoVar<M> {
+        let id = crate::ids::MonoId(self.reg.monos.len() as u32);
+        self.reg.monos.push(MonoEntry::of::<M>());
+        MonoVar::new(id)
+    }
+
+    /// Register a distributed table with values of type `V`.
+    pub fn table<V: Clone + Send + 'static>(&mut self) -> TableRef<V> {
+        let id = crate::ids::TableId(self.reg.tables.len() as u32);
+        self.reg.tables.push(TableEntry::of::<V>());
+        TableRef::new(id)
+    }
+
+    /// Name the main chare, constructed on PE 0 at boot from `seed`.
+    pub fn main<C: ChareInit>(&mut self, kind: Kind<C>, seed: C::Seed)
+    where
+        C::Seed: Clone + Sync,
+    {
+        self.reg.main = Some(MainSpec {
+            kind: kind.id,
+            make_seed: Box::new(move || {
+                let s = seed.clone();
+                let bytes = s.bytes();
+                (Box::new(s), bytes)
+            }),
+        });
+    }
+
+    /// Choose the scheduler queueing strategy (default FIFO).
+    pub fn queueing(&mut self, q: QueueingStrategy) -> &mut Self {
+        self.queueing = q;
+        self
+    }
+
+    /// Choose the dynamic load balancing strategy (default none).
+    pub fn balance(&mut self, b: BalanceStrategy) -> &mut Self {
+        self.balance = b;
+        self
+    }
+
+    /// Choose how kernel broadcasts are distributed (default spanning
+    /// tree; `Direct` exists for the ablation experiment).
+    pub fn broadcast_mode(&mut self, mode: BroadcastMode) -> &mut Self {
+        self.bcast = mode;
+        self
+    }
+
+    /// Enable message combining: remote messages produced within one
+    /// scheduling step travel as a single batch per destination,
+    /// paying the per-message software overhead once. Off by default
+    /// (the ablation experiment measures its effect).
+    pub fn combining(&mut self, on: bool) -> &mut Self {
+        self.combining = on;
+        self
+    }
+
+    /// Reseed the kernel's per-PE RNGs (placement randomness).
+    pub fn rng_seed(&mut self, seed: u64) -> &mut Self {
+        self.rng_seed = seed;
+        self
+    }
+
+    /// Finalize into an immutable, reusable [`Program`].
+    pub fn build(self) -> Program {
+        Program {
+            reg: Arc::new(self.reg),
+            queueing: self.queueing,
+            balance: self.balance,
+            bcast: self.bcast,
+            combining: self.combining,
+            rng_seed: self.rng_seed,
+        }
+    }
+}
+
+/// An immutable chare-kernel program, runnable on either backend at any
+/// machine size.
+#[derive(Clone)]
+pub struct Program {
+    reg: Arc<Registry>,
+    queueing: QueueingStrategy,
+    balance: BalanceStrategy,
+    bcast: BroadcastMode,
+    combining: bool,
+    rng_seed: u64,
+}
+
+impl Program {
+    /// The program's queueing strategy.
+    pub fn queueing_strategy(&self) -> QueueingStrategy {
+        self.queueing
+    }
+
+    /// The program's balancing strategy.
+    pub fn balance_strategy(&self) -> &BalanceStrategy {
+        &self.balance
+    }
+
+    /// A copy of this program with message combining enabled — sugar for
+    /// ablation sweeps over an already-built program.
+    pub fn with_combining(&self) -> Program {
+        let mut p = self.clone();
+        p.combining = true;
+        p
+    }
+
+    fn factory(&self, topology: Topology) -> CkFactory {
+        CkFactory {
+            prog: self.clone(),
+            topology,
+        }
+    }
+
+    /// Run on the discrete-event simulator.
+    pub fn run_sim(&self, cfg: SimConfig) -> CkReport {
+        let factory = self.factory(cfg.topology.clone());
+        let rep = SimMachine::run_factory(cfg, &factory);
+        CkReport {
+            time_ns: rep.end_time.as_nanos(),
+            result: rep.result,
+            node_stats: rep.node_stats,
+            timed_out: false,
+            sim: Some(SimDetail {
+                end_time: rep.end_time,
+                utilization: {
+                    let span = rep.end_time.as_nanos();
+                    if span == 0 {
+                        0.0
+                    } else {
+                        let busy: u64 = rep.busy.iter().map(|c| c.as_nanos()).sum();
+                        busy as f64 / (span as f64 * rep.busy.len() as f64)
+                    }
+                },
+                imbalance: imbalance(&rep.busy),
+                busy: rep.busy,
+                packets: rep.packets,
+                bytes: rep.bytes,
+                events: rep.events,
+                quiesced: rep.quiesced,
+                samples: rep.samples,
+                timeline: rep.timeline,
+            }),
+        }
+    }
+
+    /// Run on the simulator with a machine preset at `npes` PEs.
+    pub fn run_sim_preset(&self, npes: usize, preset: MachinePreset) -> CkReport {
+        self.run_sim(SimConfig::preset(npes, preset))
+    }
+
+    /// Run on the thread backend with `npes` OS threads and a default
+    /// watchdog. The logical topology (used for balancing neighborhoods)
+    /// is a hypercube.
+    pub fn run_threads(&self, npes: usize) -> CkReport {
+        self.run_threads_cfg(ThreadConfig::new(npes), Topology::Hypercube)
+    }
+
+    /// Run on the thread backend with full control.
+    pub fn run_threads_cfg(&self, cfg: ThreadConfig, topology: Topology) -> CkReport {
+        let factory = self.factory(topology);
+        let rep = ThreadMachine::run(cfg, &factory);
+        CkReport {
+            time_ns: rep.wall.as_nanos() as u64,
+            result: rep.result,
+            node_stats: rep.node_stats,
+            timed_out: rep.timed_out,
+            sim: None,
+        }
+    }
+}
+
+/// Builds one [`CkNode`] per PE (implements the machine layer's
+/// [`NodeFactory`]).
+pub struct CkFactory {
+    prog: Program,
+    topology: Topology,
+}
+
+impl NodeFactory for CkFactory {
+    type Node = CkNode;
+
+    fn build(&self, pe: Pe, npes: usize) -> CkNode {
+        // Neighborhood-based balancing (ACWN, token) needs a *sparse*
+        // neighbor set; on dense interconnects (bus, crossbar) the
+        // kernel imposes a logical hypercube so load reports and work
+        // requests stay O(log P) per PE instead of O(P).
+        let mut neighbors = self.topology.neighbors(pe, npes);
+        if neighbors.len() > 8 {
+            neighbors = Topology::Hypercube.neighbors(pe, npes);
+        }
+        let queue = self.prog.queueing.make();
+        let balancer = self.prog.balance.make(pe, npes, neighbors);
+        CkNode::new(
+            pe,
+            npes,
+            Arc::clone(&self.prog.reg),
+            queue,
+            balancer,
+            NodeOptions {
+                bcast: self.prog.bcast,
+                combining: self.prog.combining,
+                rng_seed: self.prog.rng_seed,
+            },
+        )
+    }
+}
+
+/// Per-run simulator detail.
+pub struct SimDetail {
+    /// Simulated completion time.
+    pub end_time: SimTime,
+    /// Per-PE busy time.
+    pub busy: Vec<Cost>,
+    /// Mean PE utilization over the run.
+    pub utilization: f64,
+    /// Busy-time imbalance (max / mean; 1.0 = perfect).
+    pub imbalance: f64,
+    /// Packets delivered.
+    pub packets: u64,
+    /// Bytes carried.
+    pub bytes: u64,
+    /// Simulator events processed.
+    pub events: u64,
+    /// True if the run ended by global quiescence rather than `exit`.
+    pub quiesced: bool,
+    /// Backlog samples, if sampling was enabled.
+    pub samples: Vec<(SimTime, Vec<usize>)>,
+    /// Execution spans, if tracing was enabled.
+    pub timeline: Vec<multicomputer::TraceSpan>,
+}
+
+/// Result of running a program on either backend.
+pub struct CkReport {
+    /// Completion time in nanoseconds — simulated on the simulator,
+    /// wall-clock on threads.
+    pub time_ns: u64,
+    /// The value passed to [`Ctx::exit`](crate::ctx::Ctx::exit), if any.
+    pub result: Option<Payload>,
+    /// Per-PE kernel counters.
+    pub node_stats: Vec<NodeStats>,
+    /// Thread backend only: the watchdog fired before `exit`.
+    pub timed_out: bool,
+    /// Simulator-only detail.
+    pub sim: Option<SimDetail>,
+}
+
+impl CkReport {
+    /// Completion time in seconds.
+    pub fn time_secs(&self) -> f64 {
+        self.time_ns as f64 / 1e9
+    }
+
+    /// Completion time as a `Duration`.
+    pub fn time(&self) -> Duration {
+        Duration::from_nanos(self.time_ns)
+    }
+
+    /// Take and downcast the program result.
+    pub fn take_result<T: 'static>(&mut self) -> Option<T> {
+        let r = self.result.take()?;
+        match r.downcast::<T>() {
+            Ok(b) => Some(*b),
+            Err(r) => {
+                self.result = Some(r);
+                None
+            }
+        }
+    }
+
+    /// Sum of a kernel counter across PEs.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.node_stats
+            .iter()
+            .map(|s| s.get(name).unwrap_or(0))
+            .sum()
+    }
+}

@@ -1,0 +1,348 @@
+//! Pluggable per-PE scheduling queues.
+//!
+//! The kernel's scheduler repeatedly picks the next message to execute
+//! from a queue whose *strategy* is chosen per program. The paper's
+//! experiments compare four strategies and show that for speculative
+//! search the choice changes the amount of work performed by orders of
+//! magnitude — LIFO approximates sequential depth-first search, FIFO
+//! floods memory breadth-first, and priority queues steer all PEs toward
+//! the globally most promising work.
+//!
+//! Ties (equal priority) are always broken FIFO using a push sequence
+//! number, making every strategy a total, deterministic order — a
+//! prerequisite for the simulator's reproducibility.
+
+use crate::priority::{BitPrio, Priority};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Which queue discipline the scheduler uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueingStrategy {
+    /// First in, first out (the kernel's default).
+    Fifo,
+    /// Last in, first out — approximates depth-first traversal.
+    Lifo,
+    /// Integer priorities, smaller = more urgent; FIFO among equals.
+    IntPriority,
+    /// Bitvector priorities, lexicographically smaller = more urgent;
+    /// FIFO among equals.
+    BitvecPriority,
+}
+
+impl QueueingStrategy {
+    /// Build an empty queue with this discipline.
+    pub fn make<T: Send + 'static>(self) -> Box<dyn SchedQueue<T>> {
+        match self {
+            QueueingStrategy::Fifo => Box::new(FifoQueue::default()),
+            QueueingStrategy::Lifo => Box::new(LifoQueue::default()),
+            QueueingStrategy::IntPriority => Box::new(IntPrioQueue::default()),
+            QueueingStrategy::BitvecPriority => Box::new(BitPrioQueue::default()),
+        }
+    }
+
+    /// All strategies, for sweep experiments.
+    pub const ALL: [QueueingStrategy; 4] = [
+        QueueingStrategy::Fifo,
+        QueueingStrategy::Lifo,
+        QueueingStrategy::IntPriority,
+        QueueingStrategy::BitvecPriority,
+    ];
+
+    /// Short stable name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueueingStrategy::Fifo => "fifo",
+            QueueingStrategy::Lifo => "lifo",
+            QueueingStrategy::IntPriority => "int-prio",
+            QueueingStrategy::BitvecPriority => "bitvec-prio",
+        }
+    }
+}
+
+/// A scheduler queue: items enter with a [`Priority`], leave in strategy
+/// order.
+pub trait SchedQueue<T>: Send {
+    /// Enqueue `item` with `prio`.
+    fn push(&mut self, prio: Priority, item: T);
+    /// Remove and return the next item in strategy order.
+    fn pop(&mut self) -> Option<T>;
+    /// Number of queued items.
+    fn len(&self) -> usize;
+    /// True when nothing is queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// FIFO queue; ignores priorities.
+pub struct FifoQueue<T> {
+    items: VecDeque<T>,
+}
+
+impl<T> Default for FifoQueue<T> {
+    fn default() -> Self {
+        FifoQueue {
+            items: VecDeque::new(),
+        }
+    }
+}
+
+impl<T: Send> SchedQueue<T> for FifoQueue<T> {
+    fn push(&mut self, _prio: Priority, item: T) {
+        self.items.push_back(item);
+    }
+    fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+/// LIFO stack; ignores priorities.
+pub struct LifoQueue<T> {
+    items: Vec<T>,
+}
+
+impl<T> Default for LifoQueue<T> {
+    fn default() -> Self {
+        LifoQueue { items: Vec::new() }
+    }
+}
+
+impl<T: Send> SchedQueue<T> for LifoQueue<T> {
+    fn push(&mut self, _prio: Priority, item: T) {
+        self.items.push(item);
+    }
+    fn pop(&mut self) -> Option<T> {
+        self.items.pop()
+    }
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+struct IntEntry<T> {
+    key: i64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for IntEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl<T> Eq for IntEntry<T> {}
+impl<T> PartialOrd for IntEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for IntEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; we want the smallest (key, seq) out
+        // first, so reverse.
+        (other.key, other.seq).cmp(&(self.key, self.seq))
+    }
+}
+
+/// Integer-priority queue: smaller key pops first, FIFO among equals.
+pub struct IntPrioQueue<T> {
+    heap: BinaryHeap<IntEntry<T>>,
+    seq: u64,
+}
+
+impl<T> Default for IntPrioQueue<T> {
+    fn default() -> Self {
+        IntPrioQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<T: Send> SchedQueue<T> for IntPrioQueue<T> {
+    fn push(&mut self, prio: Priority, item: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(IntEntry {
+            key: prio.int_key(),
+            seq,
+            item,
+        });
+    }
+    fn pop(&mut self) -> Option<T> {
+        self.heap.pop().map(|e| e.item)
+    }
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+struct BitEntry<T> {
+    key: BitPrio,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for BitEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<T> Eq for BitEntry<T> {}
+impl<T> PartialOrd for BitEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for BitEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Smallest (key, seq) pops first.
+        match other.key.cmp(&self.key) {
+            Ordering::Equal => other.seq.cmp(&self.seq),
+            ord => ord,
+        }
+    }
+}
+
+/// Bitvector-priority queue: lexicographically smallest key pops first,
+/// FIFO among equals.
+pub struct BitPrioQueue<T> {
+    heap: BinaryHeap<BitEntry<T>>,
+    seq: u64,
+}
+
+impl<T> Default for BitPrioQueue<T> {
+    fn default() -> Self {
+        BitPrioQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<T: Send> SchedQueue<T> for BitPrioQueue<T> {
+    fn push(&mut self, prio: Priority, item: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(BitEntry {
+            key: prio.bit_key(),
+            seq,
+            item,
+        });
+    }
+    fn pop(&mut self) -> Option<T> {
+        self.heap.pop().map(|e| e.item)
+    }
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<T>(q: &mut dyn SchedQueue<T>) -> Vec<T> {
+        std::iter::from_fn(|| q.pop()).collect()
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = QueueingStrategy::Fifo.make::<u32>();
+        for (p, v) in [(5, 1u32), (1, 2), (3, 3)] {
+            q.push(Priority::Int(p), v);
+        }
+        assert_eq!(drain(q.as_mut()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn lifo_order() {
+        let mut q = QueueingStrategy::Lifo.make::<u32>();
+        for v in [1u32, 2, 3] {
+            q.push(Priority::None, v);
+        }
+        assert_eq!(drain(q.as_mut()), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn int_priority_order_with_fifo_ties() {
+        let mut q = QueueingStrategy::IntPriority.make::<&'static str>();
+        q.push(Priority::Int(5), "late");
+        q.push(Priority::Int(1), "first");
+        q.push(Priority::Int(5), "later");
+        q.push(Priority::Int(-3), "urgent");
+        assert_eq!(drain(q.as_mut()), vec!["urgent", "first", "late", "later"]);
+    }
+
+    #[test]
+    fn int_priority_none_is_zero() {
+        let mut q = QueueingStrategy::IntPriority.make::<u32>();
+        q.push(Priority::None, 0);
+        q.push(Priority::Int(-1), 1);
+        q.push(Priority::Int(1), 2);
+        assert_eq!(drain(q.as_mut()), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn bitvec_priority_dfs_order() {
+        use crate::priority::BitPrio;
+        let root = BitPrio::root();
+        let mut q = QueueingStrategy::BitvecPriority.make::<&'static str>();
+        q.push(Priority::Bits(root.child(1, 2)), "right");
+        q.push(Priority::Bits(root.child(0, 2).child(1, 2)), "left-right");
+        q.push(Priority::Bits(root.child(0, 2).child(0, 2)), "left-left");
+        assert_eq!(
+            drain(q.as_mut()),
+            vec!["left-left", "left-right", "right"]
+        );
+    }
+
+    #[test]
+    fn bitvec_fifo_among_equal_keys() {
+        let mut q = QueueingStrategy::BitvecPriority.make::<u32>();
+        for v in 0..10 {
+            q.push(Priority::None, v);
+        }
+        assert_eq!(drain(q.as_mut()), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_tracks_push_pop() {
+        for strat in QueueingStrategy::ALL {
+            let mut q = strat.make::<u32>();
+            assert!(q.is_empty());
+            q.push(Priority::None, 1);
+            q.push(Priority::Int(2), 2);
+            assert_eq!(q.len(), 2, "{strat:?}");
+            q.pop();
+            assert_eq!(q.len(), 1, "{strat:?}");
+            q.pop();
+            assert!(q.is_empty(), "{strat:?}");
+            assert_eq!(q.pop(), None);
+        }
+    }
+
+    #[test]
+    fn strategy_names_unique() {
+        let names: std::collections::HashSet<_> =
+            QueueingStrategy::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn every_strategy_preserves_items() {
+        for strat in QueueingStrategy::ALL {
+            let mut q = strat.make::<u32>();
+            for v in 0..100u32 {
+                q.push(Priority::Int((v % 7) as i64), v);
+            }
+            let mut out = drain(q.as_mut());
+            out.sort_unstable();
+            assert_eq!(out, (0..100).collect::<Vec<_>>(), "{strat:?}");
+        }
+    }
+}

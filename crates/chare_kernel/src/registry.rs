@@ -1,0 +1,190 @@
+//! The program registry: type tables shared by every PE.
+//!
+//! The C-era kernel's translator emitted tables of chare definitions,
+//! entry points and shared-variable descriptors that were identical on
+//! every node. `Registry` is the Rust equivalent: built once by the
+//! [`ProgramBuilder`](crate::program::ProgramBuilder), then shared
+//! (`Arc`) by all PEs of a run. All closures are `Send + Sync` because
+//! the thread backend invokes them concurrently from PE threads.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use crate::boc::{BranchInit, BranchObj};
+use crate::chare::{Chare, ChareInit};
+use crate::ctx::Ctx;
+use crate::envelope::{CastGen, MsgBody, SysMsg};
+use crate::ids::MonoId;
+use crate::ids::ChareKind;
+use crate::msg::Message;
+use crate::shared::{AccResult, Accum, Mono, TableGot};
+
+type CreateChareFn = Box<dyn Fn(MsgBody, &mut Ctx) -> Box<dyn Chare> + Send + Sync>;
+type CreateBranchFn = Box<dyn Fn(&mut Ctx) -> Box<dyn BranchObj> + Send + Sync>;
+type InitValFn = Box<dyn Fn() -> MsgBody + Send + Sync>;
+type CombineFn = Box<dyn Fn(&mut MsgBody, MsgBody) + Send + Sync>;
+type BetterFn = Box<dyn Fn(&MsgBody, &MsgBody) -> bool + Send + Sync>;
+type UpdateGenFn = Box<dyn Fn(&MsgBody, MonoId) -> CastGen + Send + Sync>;
+type MakeGotFn = Box<dyn Fn(u64, Option<&MsgBody>) -> (MsgBody, u32) + Send + Sync>;
+type MakeSeedFn = Box<dyn Fn() -> (MsgBody, u32) + Send + Sync>;
+type WrapResultFn = Box<dyn Fn(MsgBody) -> (MsgBody, u32) + Send + Sync>;
+
+/// A registered chare type.
+pub(crate) struct ChareEntry {
+    /// Type name, for diagnostics.
+    #[allow(dead_code)]
+    pub name: &'static str,
+    /// Constructs the chare from its (type-erased) seed.
+    pub create: CreateChareFn,
+}
+
+impl ChareEntry {
+    pub(crate) fn of<C: ChareInit>() -> Self {
+        ChareEntry {
+            name: std::any::type_name::<C>(),
+            create: Box::new(|seed, ctx| {
+                let seed = seed
+                    .downcast::<C::Seed>()
+                    .unwrap_or_else(|_| panic!("wrong seed type for {}", std::any::type_name::<C>()));
+                Box::new(C::create(*seed, ctx))
+            }),
+        }
+    }
+}
+
+/// A registered branch-office chare type plus its configuration.
+pub(crate) struct BocEntry {
+    /// Type name, for diagnostics.
+    #[allow(dead_code)]
+    pub name: &'static str,
+    /// Constructs this PE's branch at boot.
+    pub create: CreateBranchFn,
+}
+
+impl BocEntry {
+    pub(crate) fn of<B: BranchInit>(cfg: B::Cfg) -> Self {
+        BocEntry {
+            name: std::any::type_name::<B>(),
+            create: Box::new(move |ctx| Box::new(B::create(cfg.clone(), ctx))),
+        }
+    }
+}
+
+/// A registered accumulator: erased identity, combine and result
+/// wrapping.
+pub(crate) struct AccEntry {
+    pub init: InitValFn,
+    pub combine: CombineFn,
+    /// Wrap a combined total into an `AccResult<V>` message body plus
+    /// its wire size.
+    pub wrap_result: WrapResultFn,
+}
+
+impl AccEntry {
+    pub(crate) fn of<A: Accum>() -> Self {
+        AccEntry {
+            init: Box::new(|| Box::new(A::identity())),
+            combine: Box::new(|into, from| {
+                let into = into
+                    .downcast_mut::<A::V>()
+                    .expect("accumulator value type mismatch");
+                let from = *from
+                    .downcast::<A::V>().expect("accumulator part type mismatch");
+                A::combine(into, from);
+            }),
+            wrap_result: Box::new(|total| {
+                let value = *total
+                    .downcast::<A::V>().expect("accumulator total type mismatch");
+                let msg = AccResult { value };
+                let bytes = msg.bytes();
+                (Box::new(msg) as MsgBody, bytes)
+            }),
+        }
+    }
+}
+
+/// A registered monotonic variable: erased identity and comparison.
+pub(crate) struct MonoEntry {
+    pub init: InitValFn,
+    pub better: BetterFn,
+    /// Build a broadcast generator minting `MonoUpdate` copies of a
+    /// value (used by the spanning-tree broadcast).
+    pub make_update_gen: UpdateGenFn,
+}
+
+impl MonoEntry {
+    pub(crate) fn of<M: Mono>() -> Self {
+        MonoEntry {
+            init: Box::new(|| Box::new(M::identity())),
+            better: Box::new(|new, cur| {
+                let new = new.downcast_ref::<M::V>().expect("mono type mismatch");
+                let cur = cur.downcast_ref::<M::V>().expect("mono type mismatch");
+                M::better(new, cur)
+            }),
+            make_update_gen: Box::new(|v, id| {
+                let v = v
+                    .downcast_ref::<M::V>()
+                    .expect("mono type mismatch")
+                    .clone();
+                std::sync::Arc::new(move || SysMsg::MonoUpdate {
+                    mono: id,
+                    value: Box::new(v.clone()),
+                })
+            }),
+        }
+    }
+}
+
+/// A registered distributed table: erased value cloning and reply
+/// construction.
+pub(crate) struct TableEntry {
+    pub make_got: MakeGotFn,
+}
+
+impl TableEntry {
+    pub(crate) fn of<V: Clone + Send + 'static>() -> Self {
+        TableEntry {
+            make_got: Box::new(|key, val| {
+                let value = val.map(|v| {
+                    v.downcast_ref::<V>()
+                        .expect("table value type mismatch")
+                        .clone()
+                });
+                let got = TableGot { key, value };
+                let bytes = got.bytes();
+                (Box::new(got) as MsgBody, bytes)
+            }),
+        }
+    }
+}
+
+/// The main chare specification.
+pub(crate) struct MainSpec {
+    pub kind: ChareKind,
+    pub make_seed: MakeSeedFn,
+}
+
+/// All per-program type information, shared by every PE.
+pub(crate) struct Registry {
+    pub chares: Vec<ChareEntry>,
+    pub bocs: Vec<BocEntry>,
+    pub read_only: Vec<Arc<dyn Any + Send + Sync>>,
+    pub accs: Vec<AccEntry>,
+    pub monos: Vec<MonoEntry>,
+    pub tables: Vec<TableEntry>,
+    pub main: Option<MainSpec>,
+}
+
+impl Registry {
+    pub(crate) fn new() -> Self {
+        Registry {
+            chares: Vec::new(),
+            bocs: Vec::new(),
+            read_only: Vec::new(),
+            accs: Vec::new(),
+            monos: Vec::new(),
+            tables: Vec::new(),
+            main: None,
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Specifically shared variables.
+//!
+//! Instead of general shared memory, the kernel gives programs a small
+//! set of *disciplined* sharing abstractions whose access patterns the
+//! runtime can implement efficiently on nonshared-memory machines — one
+//! of the paper's central design points:
+//!
+//! * **read-only** variables — fixed at program build, replicated
+//!   everywhere ([`ReadOnly`]);
+//! * **write-once** variables — created once at runtime, replicated to
+//!   every PE, usable after a readiness notification
+//!   ([`Ctx::write_once`](crate::ctx::Ctx::write_once), [`WoReady`]);
+//! * **accumulators** — commutative-associative reduction variables with
+//!   PE-local adds and an explicit, destructive collect ([`Accum`],
+//!   [`Ctx::acc_add`](crate::ctx::Ctx::acc_add));
+//! * **monotonic** variables — values that only ever improve, propagated
+//!   asynchronously to all PEs; stale reads are safe because the value is
+//!   a bound, not a truth ([`Mono`]) — this is what makes distributed
+//!   branch & bound work;
+//! * **distributed tables** — key/value store hash-partitioned across
+//!   PEs with asynchronous insert/find/delete and reply messages
+//!   ([`TableRef`], [`TableGot`], [`TableAck`]).
+
+use std::marker::PhantomData;
+
+use crate::ids::{AccId, MonoId, RoId, TableId, WoId};
+use crate::msg::Message;
+
+/// A commutative, associative reduction.
+///
+/// Each PE holds a private partial value; [`Ctx::acc_add`](crate::ctx::Ctx::acc_add) combines into
+/// the local partial without communication, and
+/// [`Ctx::acc_collect`](crate::ctx::Ctx::acc_collect) gathers and resets
+/// all partials, delivering the grand total to a chare entry point.
+pub trait Accum: 'static {
+    /// The accumulated value.
+    type V: Send + Clone + 'static;
+    /// The reduction identity.
+    fn identity() -> Self::V;
+    /// Fold `from` into `into`. Must be commutative and associative.
+    fn combine(into: &mut Self::V, from: Self::V);
+}
+
+/// A value that only improves.
+///
+/// [`Ctx::mono_update`](crate::ctx::Ctx::mono_update) publishes an
+/// improvement; the kernel broadcasts it and each PE keeps the best value
+/// seen. [`Ctx::mono_get`](crate::ctx::Ctx::mono_get) reads the local
+/// copy, which may lag the global best — safe exactly when the value is
+/// used as a conservative bound.
+pub trait Mono: 'static {
+    /// The value type. `Sync` because improvement broadcasts share one
+    /// captured value across the spanning tree.
+    type V: Send + Sync + Clone + 'static;
+    /// The least informative value (e.g. `+inf` for a minimizing bound).
+    fn identity() -> Self::V;
+    /// Whether `new` improves on `cur`.
+    fn better(new: &Self::V, cur: &Self::V) -> bool;
+}
+
+/// Handle to a registered accumulator.
+pub struct Acc<A: Accum> {
+    /// Untyped id.
+    pub id: AccId,
+    pub(crate) _marker: PhantomData<fn() -> A>,
+}
+
+/// Handle to a registered monotonic variable.
+pub struct MonoVar<M: Mono> {
+    /// Untyped id.
+    pub id: MonoId,
+    pub(crate) _marker: PhantomData<fn() -> M>,
+}
+
+/// Handle to a registered distributed table with values of type `V`.
+pub struct TableRef<V> {
+    /// Untyped id.
+    pub id: TableId,
+    pub(crate) _marker: PhantomData<fn() -> V>,
+}
+
+/// Handle to a read-only variable of type `T`.
+pub struct ReadOnly<T> {
+    /// Untyped id.
+    pub id: RoId,
+    pub(crate) _marker: PhantomData<fn() -> T>,
+}
+
+macro_rules! impl_copy_clone {
+    ($name:ident < $p:ident : $bound:path >) => {
+        impl<$p: $bound> Clone for $name<$p> {
+            fn clone(&self) -> Self {
+                *self
+            }
+        }
+        impl<$p: $bound> Copy for $name<$p> {}
+    };
+    ($name:ident < $p:ident >) => {
+        impl<$p> Clone for $name<$p> {
+            fn clone(&self) -> Self {
+                *self
+            }
+        }
+        impl<$p> Copy for $name<$p> {}
+    };
+}
+
+impl_copy_clone!(Acc<A: Accum>);
+impl_copy_clone!(MonoVar<M: Mono>);
+impl_copy_clone!(TableRef<V>);
+impl_copy_clone!(ReadOnly<T>);
+
+impl<A: Accum> Acc<A> {
+    pub(crate) fn new(id: AccId) -> Self {
+        Acc {
+            id,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<M: Mono> MonoVar<M> {
+    pub(crate) fn new(id: MonoId) -> Self {
+        MonoVar {
+            id,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<V> TableRef<V> {
+    pub(crate) fn new(id: TableId) -> Self {
+        TableRef {
+            id,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> ReadOnly<T> {
+    pub(crate) fn new(id: RoId) -> Self {
+        ReadOnly {
+            id,
+            _marker: PhantomData,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel-generated notification messages.
+// ---------------------------------------------------------------------
+
+/// Delivered when quiescence detection fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuiescenceMsg;
+
+/// Delivered when a write-once variable is replicated on every PE.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WoReady {
+    /// The now-usable variable.
+    pub id: WoId,
+}
+
+/// Reply to a table put/delete that requested notification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TableAck {
+    /// The key operated on.
+    pub key: u64,
+    /// For put: whether the key already existed (old value replaced).
+    /// For delete: whether the key existed (something was removed).
+    pub existed: bool,
+}
+
+/// Reply to a table lookup.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableGot<V> {
+    /// The key looked up.
+    pub key: u64,
+    /// The value, if the key was present (a clone of the stored value).
+    pub value: Option<V>,
+}
+
+/// Collected accumulator total, delivered to the entry point passed to
+/// [`Ctx::acc_collect`](crate::ctx::Ctx::acc_collect).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccResult<V> {
+    /// The grand total across all PEs.
+    pub value: V,
+}
+
+impl Message for QuiescenceMsg {}
+impl Message for WoReady {}
+impl Message for TableAck {}
+impl<V: Send + 'static> Message for TableGot<V> {}
+impl<V: Send + 'static> Message for AccResult<V> {}
+
+// ---------------------------------------------------------------------
+// Ready-made reductions.
+// ---------------------------------------------------------------------
+
+/// Sum of `u64`s.
+pub struct SumU64;
+impl Accum for SumU64 {
+    type V = u64;
+    fn identity() -> u64 {
+        0
+    }
+    fn combine(into: &mut u64, from: u64) {
+        *into += from;
+    }
+}
+
+/// Sum of `f64`s.
+pub struct SumF64;
+impl Accum for SumF64 {
+    type V = f64;
+    fn identity() -> f64 {
+        0.0
+    }
+    fn combine(into: &mut f64, from: f64) {
+        *into += from;
+    }
+}
+
+/// Maximum of `f64`s (identity `-inf`).
+pub struct MaxF64;
+impl Accum for MaxF64 {
+    type V = f64;
+    fn identity() -> f64 {
+        f64::NEG_INFINITY
+    }
+    fn combine(into: &mut f64, from: f64) {
+        if from > *into {
+            *into = from;
+        }
+    }
+}
+
+/// Minimum of `u64`s (identity `u64::MAX`) — e.g. the "smallest f value
+/// that exceeded the threshold" reduction of iterative-deepening search.
+pub struct MinU64;
+impl Accum for MinU64 {
+    type V = u64;
+    fn identity() -> u64 {
+        u64::MAX
+    }
+    fn combine(into: &mut u64, from: u64) {
+        if from < *into {
+            *into = from;
+        }
+    }
+}
+
+/// Minimizing monotonic `u64` bound (identity `u64::MAX`), as used by
+/// branch & bound.
+pub struct MinBoundU64;
+impl Mono for MinBoundU64 {
+    type V = u64;
+    fn identity() -> u64 {
+        u64::MAX
+    }
+    fn better(new: &u64, cur: &u64) -> bool {
+        new < cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_u64_reduction() {
+        let mut v = SumU64::identity();
+        SumU64::combine(&mut v, 3);
+        SumU64::combine(&mut v, 7);
+        assert_eq!(v, 10);
+    }
+
+    #[test]
+    fn max_f64_reduction() {
+        let mut v = MaxF64::identity();
+        MaxF64::combine(&mut v, 1.5);
+        MaxF64::combine(&mut v, -2.0);
+        assert_eq!(v, 1.5);
+    }
+
+    #[test]
+    fn min_bound_improves_downward() {
+        assert!(MinBoundU64::better(&5, &10));
+        assert!(!MinBoundU64::better(&10, &5));
+        assert!(!MinBoundU64::better(&5, &5));
+        assert_eq!(MinBoundU64::identity(), u64::MAX);
+    }
+
+    #[test]
+    fn handles_are_copy() {
+        let a: Acc<SumU64> = Acc::new(AccId(0));
+        let b = a;
+        assert_eq!(a.id, b.id);
+        let t: TableRef<String> = TableRef::new(TableId(1));
+        let u = t;
+        assert_eq!(t.id, u.id);
+    }
+
+    #[test]
+    fn notification_messages_have_sizes() {
+        use crate::msg::Message;
+        assert!(QuiescenceMsg.bytes() <= 8);
+        assert_eq!(
+            TableGot::<u64> {
+                key: 1,
+                value: Some(2)
+            }
+            .bytes(),
+            std::mem::size_of::<TableGot<u64>>() as u32
+        );
+    }
+}

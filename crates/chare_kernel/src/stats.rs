@@ -1,0 +1,93 @@
+//! Kernel event counters, exported through the machine's run report.
+//!
+//! These are the quantities the paper's Table 1 characterizes per
+//! benchmark (chares created, messages processed) plus the balancing and
+//! shared-variable traffic the strategy experiments analyze.
+
+use multicomputer::NodeStats;
+
+/// Per-PE kernel counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// User messages sent (seeds, chare/branch messages, shared-variable
+    /// operations) — the quiescence-detection "sent" counter.
+    pub user_sent: u64,
+    /// User messages received — the quiescence-detection "recv" counter.
+    pub user_recv: u64,
+    /// Chares constructed on this PE.
+    pub chares_created: u64,
+    /// Entry-method executions (including constructions).
+    pub entries_executed: u64,
+    /// Messages addressed to chares that no longer exist.
+    pub dead_letters: u64,
+    /// Seeds this PE's balancer forwarded elsewhere.
+    pub seeds_forwarded: u64,
+    /// Seeds this PE kept and enqueued.
+    pub seeds_kept: u64,
+    /// Work requests sent while idle (token strategy).
+    pub work_reqs: u64,
+    /// Work requests answered with a seed.
+    pub work_grants: u64,
+    /// Work requests answered with a NACK.
+    pub work_nacks: u64,
+    /// Monotonic-variable improvement broadcasts originated here.
+    pub mono_broadcasts: u64,
+    /// Monotonic updates applied (local improvements from any source).
+    pub mono_applied: u64,
+    /// Distributed-table operations served by this PE's shard.
+    pub table_ops: u64,
+    /// Accumulator collects initiated from this PE.
+    pub acc_collects: u64,
+    /// Load reports sent.
+    pub load_reports: u64,
+    /// Quiescence-detection waves answered.
+    pub qd_replies: u64,
+    /// High-water mark of the runnable backlog (queue + seed pool) —
+    /// the per-PE memory pressure the paper's queueing discussion cares
+    /// about.
+    pub queue_hwm: u64,
+}
+
+impl KernelCounters {
+    /// Flatten into the machine layer's name/value report.
+    pub fn to_node_stats(&self) -> NodeStats {
+        let mut s = NodeStats::new();
+        s.push("user_sent", self.user_sent);
+        s.push("user_recv", self.user_recv);
+        s.push("chares_created", self.chares_created);
+        s.push("entries_executed", self.entries_executed);
+        s.push("dead_letters", self.dead_letters);
+        s.push("seeds_forwarded", self.seeds_forwarded);
+        s.push("seeds_kept", self.seeds_kept);
+        s.push("work_reqs", self.work_reqs);
+        s.push("work_grants", self.work_grants);
+        s.push("work_nacks", self.work_nacks);
+        s.push("mono_broadcasts", self.mono_broadcasts);
+        s.push("mono_applied", self.mono_applied);
+        s.push("table_ops", self.table_ops);
+        s.push("acc_collects", self.acc_collects);
+        s.push("load_reports", self.load_reports);
+        s.push("qd_replies", self.qd_replies);
+        s.push("queue_hwm", self.queue_hwm);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exports_all_counters() {
+        let c = KernelCounters {
+            user_sent: 3,
+            chares_created: 2,
+            ..Default::default()
+        };
+        let s = c.to_node_stats();
+        assert_eq!(s.get("user_sent"), Some(3));
+        assert_eq!(s.get("chares_created"), Some(2));
+        assert_eq!(s.get("dead_letters"), Some(0));
+        assert_eq!(s.counters.len(), 17);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property test: accumulator totals are independent of how the
+//! contributions are partitioned over PEs, which PE contributes them, or
+//! the order the adds happen — the commutativity/associativity contract,
+//! checked end-to-end through the kernel (including the spanning-tree
+//! reduction).
+
+use chare_kernel::prelude::*;
+use proptest::prelude::*;
+
+const EP_QUIESCENT: EpId = EpId(1);
+const EP_TOTAL: EpId = EpId(2);
+
+#[derive(Clone)]
+struct Seed {
+    values: Vec<(u8, u64)>, // (pe, contribution)
+    worker: Kind<Adder>,
+    acc: Acc<SumU64>,
+}
+impl Message for Seed {
+    fn bytes(&self) -> u32 {
+        (self.values.len() * 9 + 16) as u32
+    }
+}
+
+#[derive(Clone, Copy)]
+struct AdderSeed {
+    value: u64,
+    acc: Acc<SumU64>,
+}
+message!(AdderSeed);
+
+struct Adder;
+impl ChareInit for Adder {
+    type Seed = AdderSeed;
+    fn create(seed: AdderSeed, ctx: &mut Ctx) -> Self {
+        ctx.acc_add(seed.acc, seed.value);
+        ctx.destroy_self();
+        Adder
+    }
+}
+impl Chare for Adder {
+    fn entry(&mut self, _ep: EpId, _msg: MsgBody, _ctx: &mut Ctx) {
+        unreachable!()
+    }
+}
+
+struct Main {
+    acc: Acc<SumU64>,
+}
+impl ChareInit for Main {
+    type Seed = Seed;
+    fn create(seed: Seed, ctx: &mut Ctx) -> Self {
+        let me = ctx.self_id();
+        ctx.start_quiescence(Notify::Chare(me, EP_QUIESCENT));
+        let npes = ctx.npes();
+        for &(pe, value) in &seed.values {
+            ctx.create_on(
+                Pe::from(pe as usize % npes),
+                seed.worker,
+                AdderSeed {
+                    value,
+                    acc: seed.acc,
+                },
+            );
+        }
+        Main { acc: seed.acc }
+    }
+}
+impl Chare for Main {
+    fn entry(&mut self, ep: EpId, msg: MsgBody, ctx: &mut Ctx) {
+        match ep {
+            EP_QUIESCENT => {
+                let _ = cast::<QuiescenceMsg>(msg);
+                let me = ctx.self_id();
+                ctx.acc_collect(self.acc, Notify::Chare(me, EP_TOTAL));
+            }
+            EP_TOTAL => {
+                let total = cast::<AccResult<u64>>(msg);
+                ctx.exit(total.value);
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+fn run(values: Vec<(u8, u64)>, npes: usize, mode: BroadcastMode) -> u64 {
+    let mut b = ProgramBuilder::new();
+    let worker = b.chare::<Adder>();
+    let main = b.chare::<Main>();
+    let acc = b.accumulator::<SumU64>();
+    b.broadcast_mode(mode);
+    b.main(
+        main,
+        Seed {
+            values,
+            worker,
+            acc,
+        },
+    );
+    let mut rep = b.build().run_sim_preset(npes, MachinePreset::NcubeLike);
+    rep.take_result::<u64>().expect("total")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn total_is_partition_independent(
+        values in proptest::collection::vec((0u8..16, 0u64..1000), 0..60),
+        npes in 1usize..12,
+        tree in any::<bool>(),
+    ) {
+        let want: u64 = values.iter().map(|&(_, v)| v).sum();
+        let mode = if tree {
+            BroadcastMode::Tree
+        } else {
+            BroadcastMode::Direct
+        };
+        let got = run(values, npes, mode);
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property test: quiescence detection fires exactly once, only after
+//! all work is done, for randomly-shaped burst trees under random
+//! strategies — the safety and liveness contract.
+
+use chare_kernel::prelude::*;
+use proptest::prelude::*;
+
+const EP_DONE: EpId = EpId(1);
+
+/// A tree whose every node does a tiny slice of "work" (an accumulator
+/// add) so the test can verify that quiescence saw all of it.
+#[derive(Clone, Copy)]
+struct NodeSeed {
+    fanout: u8,
+    depth: u8,
+    kind: Kind<TreeNode>,
+    acc: Acc<SumU64>,
+}
+message!(NodeSeed);
+
+struct TreeNode;
+impl ChareInit for TreeNode {
+    type Seed = NodeSeed;
+    fn create(seed: NodeSeed, ctx: &mut Ctx) -> Self {
+        ctx.acc_add(seed.acc, 1);
+        if seed.depth > 0 {
+            for _ in 0..seed.fanout {
+                ctx.create(
+                    seed.kind,
+                    NodeSeed {
+                        depth: seed.depth - 1,
+                        ..seed
+                    },
+                );
+            }
+        }
+        ctx.destroy_self();
+        TreeNode
+    }
+}
+impl Chare for TreeNode {
+    fn entry(&mut self, _ep: EpId, _msg: MsgBody, _ctx: &mut Ctx) {
+        unreachable!()
+    }
+}
+
+#[derive(Clone)]
+struct MainSeed {
+    fanout: u8,
+    depth: u8,
+    kind: Kind<TreeNode>,
+    acc: Acc<SumU64>,
+}
+message!(MainSeed);
+
+struct Main {
+    acc: Acc<SumU64>,
+    fired: u32,
+}
+impl ChareInit for Main {
+    type Seed = MainSeed;
+    fn create(seed: MainSeed, ctx: &mut Ctx) -> Self {
+        let me = ctx.self_id();
+        ctx.start_quiescence(Notify::Chare(me, EP_DONE));
+        ctx.create(
+            seed.kind,
+            NodeSeed {
+                fanout: seed.fanout,
+                depth: seed.depth,
+                kind: seed.kind,
+                acc: seed.acc,
+            },
+        );
+        Main {
+            acc: seed.acc,
+            fired: 0,
+        }
+    }
+}
+impl Chare for Main {
+    fn entry(&mut self, ep: EpId, msg: MsgBody, ctx: &mut Ctx) {
+        let me = ctx.self_id();
+        match ep {
+            EP_DONE => {
+                let _ = cast::<QuiescenceMsg>(msg);
+                self.fired += 1;
+                assert_eq!(self.fired, 1, "quiescence fired more than once");
+                ctx.acc_collect(self.acc, Notify::Chare(me, EpId(2)));
+            }
+            _ => {
+                let total = cast::<AccResult<u64>>(msg);
+                ctx.exit(total.value);
+            }
+        }
+    }
+}
+
+/// Number of nodes in a complete `fanout`-ary tree of the given depth.
+fn tree_size(fanout: u8, depth: u8) -> u64 {
+    let f = fanout as u64;
+    if f <= 1 {
+        depth as u64 + 1
+    } else {
+        (f.pow(depth as u32 + 1) - 1) / (f - 1)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn quiescence_sees_every_node(
+        fanout in 1u8..4,
+        depth in 0u8..6,
+        npes in 1usize..10,
+        strat_pick in 0usize..4,
+        queue_pick in 0usize..4,
+    ) {
+        let balance = match strat_pick {
+            0 => BalanceStrategy::Local,
+            1 => BalanceStrategy::Random,
+            2 => BalanceStrategy::acwn(),
+            _ => BalanceStrategy::TokenIdle,
+        };
+        let queueing = QueueingStrategy::ALL[queue_pick];
+        let mut b = ProgramBuilder::new();
+        let kind = b.chare::<TreeNode>();
+        let main = b.chare::<Main>();
+        let acc = b.accumulator::<SumU64>();
+        b.balance(balance);
+        b.queueing(queueing);
+        b.main(
+            main,
+            MainSeed {
+                fanout,
+                depth,
+                kind,
+                acc,
+            },
+        );
+        let mut rep = b.build().run_sim_preset(npes, MachinePreset::NcubeLike);
+        // Liveness: QD fired (we exited). Safety: every node's add was
+        // visible at collect time.
+        prop_assert_eq!(rep.take_result::<u64>(), Some(tree_size(fanout, depth)));
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests of the scheduler queues against reference
+//! models: conservation, ordering, tie-breaking.
+
+use chare_kernel::priority::{BitPrio, Priority};
+use chare_kernel::queueing::QueueingStrategy;
+use proptest::prelude::*;
+
+fn arb_priority() -> impl Strategy<Value = Priority> {
+    prop_oneof![
+        Just(Priority::None),
+        any::<i64>().prop_map(Priority::Int),
+        proptest::collection::vec(0u32..16, 0..8).prop_map(|path| {
+            let mut p = BitPrio::root();
+            for v in path {
+                p = p.child(v, 4);
+            }
+            Priority::Bits(p)
+        }),
+    ]
+}
+
+proptest! {
+    /// Every strategy returns exactly the pushed items (a permutation).
+    #[test]
+    fn conservation(items in proptest::collection::vec(arb_priority(), 0..200)) {
+        for strat in QueueingStrategy::ALL {
+            let mut q = strat.make::<usize>();
+            for (i, p) in items.iter().enumerate() {
+                q.push(p.clone(), i);
+            }
+            let mut out: Vec<usize> = std::iter::from_fn(|| q.pop()).collect();
+            out.sort_unstable();
+            prop_assert_eq!(out, (0..items.len()).collect::<Vec<_>>(), "{}", strat.name());
+        }
+    }
+
+    /// FIFO pops in push order regardless of priorities.
+    #[test]
+    fn fifo_model(items in proptest::collection::vec(arb_priority(), 0..200)) {
+        let mut q = QueueingStrategy::Fifo.make::<usize>();
+        for (i, p) in items.iter().enumerate() {
+            q.push(p.clone(), i);
+        }
+        let out: Vec<usize> = std::iter::from_fn(|| q.pop()).collect();
+        prop_assert_eq!(out, (0..items.len()).collect::<Vec<_>>());
+    }
+
+    /// LIFO pops in reverse push order.
+    #[test]
+    fn lifo_model(items in proptest::collection::vec(arb_priority(), 0..200)) {
+        let mut q = QueueingStrategy::Lifo.make::<usize>();
+        for (i, p) in items.iter().enumerate() {
+            q.push(p.clone(), i);
+        }
+        let out: Vec<usize> = std::iter::from_fn(|| q.pop()).collect();
+        prop_assert_eq!(out, (0..items.len()).rev().collect::<Vec<_>>());
+    }
+
+    /// Integer priority pops in stable-sorted (key, push-index) order.
+    #[test]
+    fn int_priority_model(keys in proptest::collection::vec(-100i64..100, 0..200)) {
+        let mut q = QueueingStrategy::IntPriority.make::<usize>();
+        for (i, &k) in keys.iter().enumerate() {
+            q.push(Priority::Int(k), i);
+        }
+        let out: Vec<usize> = std::iter::from_fn(|| q.pop()).collect();
+        let mut want: Vec<usize> = (0..keys.len()).collect();
+        want.sort_by_key(|&i| (keys[i], i));
+        prop_assert_eq!(out, want);
+    }
+
+    /// Bitvector priority pops in stable-sorted (bit key, push-index)
+    /// order.
+    #[test]
+    fn bitvec_priority_model(
+        paths in proptest::collection::vec(proptest::collection::vec(0u32..4, 0..6), 0..100)
+    ) {
+        let prios: Vec<BitPrio> = paths
+            .iter()
+            .map(|path| {
+                let mut p = BitPrio::root();
+                for &v in path {
+                    p = p.child(v, 2);
+                }
+                p
+            })
+            .collect();
+        let mut q = QueueingStrategy::BitvecPriority.make::<usize>();
+        for (i, p) in prios.iter().enumerate() {
+            q.push(Priority::Bits(p.clone()), i);
+        }
+        let out: Vec<usize> = std::iter::from_fn(|| q.pop()).collect();
+        let mut want: Vec<usize> = (0..prios.len()).collect();
+        want.sort_by(|&a, &b| prios[a].cmp(&prios[b]).then(a.cmp(&b)));
+        prop_assert_eq!(out, want);
+    }
+
+    /// Interleaved pushes and pops keep `len` consistent and never lose
+    /// items (model: multiset cardinality).
+    #[test]
+    fn interleaved_len_consistent(ops in proptest::collection::vec(any::<bool>(), 0..300)) {
+        for strat in QueueingStrategy::ALL {
+            let mut q = strat.make::<u32>();
+            let mut expected = 0usize;
+            let mut next = 0u32;
+            for &push in &ops {
+                if push {
+                    q.push(Priority::Int((next % 7) as i64), next);
+                    next += 1;
+                    expected += 1;
+                } else if q.pop().is_some() {
+                    expected -= 1;
+                }
+                prop_assert_eq!(q.len(), expected, "{}", strat.name());
+                prop_assert_eq!(q.is_empty(), expected == 0);
+            }
+        }
+    }
+}

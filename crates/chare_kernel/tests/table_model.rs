@@ -1,0 +1,168 @@
+//! Model test of the distributed table: a chare performs a random
+//! (seeded) sequence of put/get/delete operations, mirroring each in a
+//! local `HashMap` model, and asserts every reply matches the model.
+
+use std::collections::HashMap;
+
+use chare_kernel::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const EP_REPLY: EpId = EpId(1);
+
+#[derive(Clone, Debug, PartialEq)]
+enum Op {
+    Put(u64, u64),
+    Get(u64),
+    Delete(u64),
+}
+
+fn random_ops(seed: u64, count: usize) -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let key = rng.random_range(0..24u64); // small space → collisions
+            match rng.random_range(0..10u32) {
+                0..=4 => Op::Put(key, rng.random_range(0..1000)),
+                5..=7 => Op::Get(key),
+                _ => Op::Delete(key),
+            }
+        })
+        .collect()
+}
+
+#[derive(Clone)]
+struct DriverSeed {
+    ops: Vec<Op>,
+    table: TableRef<u64>,
+}
+impl Message for DriverSeed {
+    fn bytes(&self) -> u32 {
+        (self.ops.len() * 24) as u32
+    }
+}
+
+/// Executes the op sequence strictly one at a time: issue op, wait for
+/// its reply, check against the model, continue.
+struct Driver {
+    ops: Vec<Op>,
+    next: usize,
+    table: TableRef<u64>,
+    model: HashMap<u64, u64>,
+    checks: u64,
+}
+
+impl Driver {
+    fn issue(&mut self, ctx: &mut Ctx) {
+        let me = ctx.self_id();
+        let notify = Notify::Chare(me, EP_REPLY);
+        match self.ops[self.next].clone() {
+            Op::Put(k, v) => ctx.table_put(self.table, k, v, Some(notify)),
+            Op::Get(k) => ctx.table_get(self.table, k, notify),
+            Op::Delete(k) => ctx.table_delete(self.table, k, Some(notify)),
+        }
+    }
+}
+
+impl ChareInit for Driver {
+    type Seed = DriverSeed;
+    fn create(seed: DriverSeed, ctx: &mut Ctx) -> Self {
+        let mut d = Driver {
+            ops: seed.ops,
+            next: 0,
+            table: seed.table,
+            model: HashMap::new(),
+            checks: 0,
+        };
+        if d.ops.is_empty() {
+            ctx.exit(0u64);
+        } else {
+            d.issue(ctx);
+        }
+        d
+    }
+}
+
+impl Chare for Driver {
+    fn entry(&mut self, ep: EpId, msg: MsgBody, ctx: &mut Ctx) {
+        assert_eq!(ep, EP_REPLY);
+        // Check the reply for the op we just issued against the model,
+        // then apply it to the model.
+        match self.ops[self.next].clone() {
+            Op::Put(k, v) => {
+                let ack = cast::<TableAck>(msg);
+                assert_eq!(ack.key, k);
+                assert_eq!(ack.existed, self.model.contains_key(&k), "put {k}");
+                self.model.insert(k, v);
+            }
+            Op::Get(k) => {
+                let got = cast::<TableGot<u64>>(msg);
+                assert_eq!(got.key, k);
+                assert_eq!(got.value, self.model.get(&k).copied(), "get {k}");
+            }
+            Op::Delete(k) => {
+                let ack = cast::<TableAck>(msg);
+                assert_eq!(ack.key, k);
+                assert_eq!(ack.existed, self.model.contains_key(&k), "delete {k}");
+                self.model.remove(&k);
+            }
+        }
+        self.checks += 1;
+        self.next += 1;
+        if self.next == self.ops.len() {
+            ctx.exit(self.checks);
+        } else {
+            self.issue(ctx);
+        }
+    }
+}
+
+fn run_model(seed: u64, count: usize, npes: usize) {
+    let ops = random_ops(seed, count);
+    let mut b = ProgramBuilder::new();
+    let driver = b.chare::<Driver>();
+    let table = b.table::<u64>();
+    b.main(
+        main_kind(driver),
+        DriverSeed {
+            ops: ops.clone(),
+            table,
+        },
+    );
+    let mut rep = b.build().run_sim_preset(npes, MachinePreset::NcubeLike);
+    assert_eq!(
+        rep.take_result::<u64>(),
+        Some(count as u64),
+        "seed {seed} npes {npes}"
+    );
+}
+
+// `main` takes the driver kind directly (the driver is the main chare).
+fn main_kind(k: Kind<Driver>) -> Kind<Driver> {
+    k
+}
+
+#[test]
+fn table_matches_hashmap_model_single_pe() {
+    run_model(1, 200, 1);
+}
+
+#[test]
+fn table_matches_hashmap_model_many_pes() {
+    for seed in 0..6 {
+        run_model(seed, 150, 7);
+    }
+}
+
+#[test]
+fn table_matches_model_on_threads() {
+    let ops = random_ops(42, 120);
+    let count = ops.len();
+    let mut b = ProgramBuilder::new();
+    let driver = b.chare::<Driver>();
+    let table = b.table::<u64>();
+    b.main(driver, DriverSeed { ops, table });
+    let mut rep = b.build().run_threads(4);
+    assert!(!rep.timed_out);
+    assert_eq!(rep.take_result::<u64>(), Some(count as u64));
+}

@@ -1,0 +1,51 @@
+//! Simulated work costs for the benchmark applications.
+//!
+//! On the discrete-event simulator, application handlers charge compute
+//! time through `Ctx::charge`; these constants set the cost of one unit
+//! of each benchmark's inner-loop work. The absolute values approximate
+//! a late-1980s microprocessor (a few MFLOPS) so that the ratio between
+//! computation grain and the network cost model's message latencies is
+//! in the regime the paper's experiments explore. On the thread backend
+//! the real work is the real cost and these are ignored.
+
+use multicomputer::Cost;
+
+/// One recursive call of the fib tree (one addition plus call overhead).
+pub const FIB_NODE_NS: u64 = 120;
+
+/// One node of the N-queens search tree (bitmask candidate generation).
+pub const QUEENS_NODE_NS: u64 = 250;
+
+/// One node of the TSP branch & bound tree (bound computation).
+pub const TSP_NODE_NS: u64 = 900;
+
+/// One node of the 15-puzzle IDA* search (move generation + Manhattan
+/// update).
+pub const PUZZLE_NODE_NS: u64 = 400;
+
+/// One 5-point-stencil cell update of Jacobi relaxation.
+pub const JACOBI_CELL_NS: u64 = 160;
+
+/// One trial division in the primes benchmark.
+pub const PRIMES_DIV_NS: u64 = 45;
+
+/// Charge for `units` of work at `ns_per_unit`.
+pub fn work(units: u64, ns_per_unit: u64) -> Cost {
+    Cost::nanos(units.saturating_mul(ns_per_unit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_scales() {
+        assert_eq!(work(10, 100), Cost::nanos(1000));
+        assert_eq!(work(0, 100), Cost::ZERO);
+    }
+
+    #[test]
+    fn work_saturates() {
+        assert_eq!(work(u64::MAX, 2), Cost::nanos(u64::MAX));
+    }
+}

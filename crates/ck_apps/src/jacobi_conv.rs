@@ -1,0 +1,498 @@
+//! Jacobi relaxation **to convergence** — the reduction-per-iteration
+//! pattern.
+//!
+//! Where [`crate::jacobi`] runs a fixed sweep count and needs only
+//! quiescence at the end, this variant iterates until the global maximum
+//! cell change drops below a tolerance. That requires a *global
+//! decision every iteration*: each branch contributes its local maximum
+//! change to a [`MaxF64`] accumulator and reports done; the main chare
+//! collects the reduction, decides, and broadcasts continue-or-stop.
+//! The pattern costs one collective per sweep — the price of global
+//! control that the fixed-iteration variant avoids, measurable by
+//! comparing the two programs' times at equal sweep counts.
+
+use chare_kernel::prelude::*;
+
+use crate::costs::{work, JACOBI_CELL_NS};
+use crate::jacobi::{block_rows, JacobiParams};
+
+/// Entry point on each branch: ghost row from a neighbor.
+pub const EP_GHOST: EpId = EpId(1);
+/// Entry point on each branch: continue with the next sweep, or stop.
+pub const EP_CONTROL: EpId = EpId(2);
+/// Entry point on the main chare: a branch finished its sweep.
+pub const EP_SWEPT: EpId = EpId(3);
+/// Entry point on the main chare: the collected max change.
+pub const EP_MAXDIFF: EpId = EpId(4);
+/// Entry point on the main chare: quiescence before the final collect.
+pub const EP_QUIESCENT: EpId = EpId(5);
+/// Entry point on the main chare: the collected checksum.
+pub const EP_SUM: EpId = EpId(6);
+
+/// Parameters of a convergent run.
+#[derive(Clone, Copy, Debug)]
+pub struct ConvParams {
+    /// Interior grid size.
+    pub n: usize,
+    /// Stop when the max cell change of a sweep falls below this.
+    pub eps: f64,
+    /// Hard sweep cap (safety for loose tolerances).
+    pub max_iters: u32,
+}
+
+impl Default for ConvParams {
+    fn default() -> Self {
+        ConvParams {
+            n: 48,
+            eps: 1e-4,
+            max_iters: 10_000,
+        }
+    }
+}
+
+/// Result: sweeps performed and final checksum.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConvResult {
+    /// Sweeps executed.
+    pub iters: u32,
+    /// Interior sum at termination.
+    pub checksum: f64,
+}
+
+/// Sequential reference: same sweep/tolerance logic.
+pub fn jacobi_conv_seq(params: ConvParams) -> ConvResult {
+    let n = params.n;
+    let w = n + 2;
+    let mut cur = vec![0.0f64; w * w];
+    for cell in cur.iter_mut().take(w) {
+        *cell = 1.0;
+    }
+    let mut next = cur.clone();
+    let mut iters = 0;
+    while iters < params.max_iters {
+        let mut maxdiff = 0.0f64;
+        for r in 1..=n {
+            for c in 1..=n {
+                let v = 0.25
+                    * (cur[(r - 1) * w + c]
+                        + cur[(r + 1) * w + c]
+                        + cur[r * w + c - 1]
+                        + cur[r * w + c + 1]);
+                maxdiff = maxdiff.max((v - cur[r * w + c]).abs());
+                next[r * w + c] = v;
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+        iters += 1;
+        if maxdiff < params.eps {
+            break;
+        }
+    }
+    let mut checksum = 0.0;
+    for r in 1..=n {
+        for c in 1..=n {
+            checksum += cur[r * w + c];
+        }
+    }
+    ConvResult { iters, checksum }
+}
+
+/// Ghost row between neighbors.
+#[derive(Clone)]
+pub struct GhostMsg {
+    /// True if from the block above.
+    pub from_above: bool,
+    /// Row values.
+    pub row: Vec<f64>,
+}
+impl Message for GhostMsg {
+    fn bytes(&self) -> u32 {
+        2 + (self.row.len() * 8) as u32
+    }
+}
+
+/// Control broadcast each sweep.
+#[derive(Clone, Copy)]
+pub enum Control {
+    /// Run one more sweep, then report.
+    Sweep(ChareId),
+    /// Converged (or capped): contribute your checksum and go quiet.
+    Stop,
+}
+message!(Control);
+
+/// BOC configuration.
+#[derive(Clone)]
+pub struct ConvCfg {
+    /// Parameters.
+    pub params: ConvParams,
+    /// Per-sweep max-change reduction.
+    pub maxdiff: Acc<MaxF64>,
+    /// Final checksum reduction.
+    pub checksum: Acc<SumF64>,
+}
+
+/// One PE's block, lock-stepped by the per-sweep barrier.
+pub struct ConvBranch {
+    cfg: ConvCfg,
+    nblocks: usize,
+    rows: usize,
+    cur: Vec<f64>,
+    next: Vec<f64>,
+    ghosts_in: usize,
+    sweep_armed: Option<ChareId>,
+}
+
+impl ConvBranch {
+    fn width(&self) -> usize {
+        self.cfg.params.n + 2
+    }
+
+    fn ghosts_needed(&self, pe: Pe) -> usize {
+        usize::from(pe.index() > 0) + usize::from(pe.index() + 1 < self.nblocks)
+    }
+
+    fn send_edges(&self, ctx: &mut Ctx) {
+        let me = ctx.pe();
+        let boc = ctx.self_boc::<ConvBranch>();
+        let w = self.width();
+        if me.index() > 0 {
+            ctx.send_branch(
+                boc,
+                Pe::from(me.index() - 1),
+                EP_GHOST,
+                GhostMsg {
+                    from_above: false,
+                    row: self.cur[w..2 * w].to_vec(),
+                },
+            );
+        }
+        if me.index() + 1 < self.nblocks {
+            ctx.send_branch(
+                boc,
+                Pe::from(me.index() + 1),
+                EP_GHOST,
+                GhostMsg {
+                    from_above: true,
+                    row: self.cur[self.rows * w..(self.rows + 1) * w].to_vec(),
+                },
+            );
+        }
+    }
+
+    /// Run the sweep if both the control signal and all ghosts arrived.
+    fn try_sweep(&mut self, ctx: &mut Ctx) {
+        let me = ctx.pe();
+        let Some(main) = self.sweep_armed else {
+            return;
+        };
+        if self.ghosts_in < self.ghosts_needed(me) {
+            return;
+        }
+        self.sweep_armed = None;
+        self.ghosts_in = 0;
+        let w = self.width();
+        let n = self.cfg.params.n;
+        let mut maxdiff = 0.0f64;
+        for r in 1..=self.rows {
+            for c in 1..=n {
+                let v = 0.25
+                    * (self.cur[(r - 1) * w + c]
+                        + self.cur[(r + 1) * w + c]
+                        + self.cur[r * w + c - 1]
+                        + self.cur[r * w + c + 1]);
+                maxdiff = maxdiff.max((v - self.cur[r * w + c]).abs());
+                self.next[r * w + c] = v;
+            }
+        }
+        // Ghost/boundary rows carry over to the next buffer.
+        self.next[..w].copy_from_slice(&self.cur[..w]);
+        let lo = (self.rows + 1) * w;
+        self.next[lo..].copy_from_slice(&self.cur[lo..]);
+        std::mem::swap(&mut self.cur, &mut self.next);
+        ctx.charge(work((self.rows * n) as u64, JACOBI_CELL_NS));
+        ctx.acc_add(self.cfg.maxdiff, maxdiff);
+        ctx.send(main, EP_SWEPT, ());
+    }
+
+    fn interior_sum(&self) -> f64 {
+        let w = self.width();
+        let mut s = 0.0;
+        for r in 1..=self.rows {
+            for c in 1..=self.cfg.params.n {
+                s += self.cur[r * w + c];
+            }
+        }
+        s
+    }
+}
+
+impl BranchInit for ConvBranch {
+    type Cfg = ConvCfg;
+    fn create(cfg: ConvCfg, ctx: &mut Ctx) -> Self {
+        let n = cfg.params.n;
+        let nblocks = ctx.npes().min(n);
+        let pe = ctx.pe();
+        let rows = if pe.index() < nblocks {
+            block_rows(n, nblocks, pe.index()).1
+        } else {
+            0
+        };
+        let w = n + 2;
+        let mut cur = vec![0.0f64; (rows + 2) * w];
+        if pe.index() == 0 && rows > 0 {
+            for cell in cur.iter_mut().take(w) {
+                *cell = 1.0;
+            }
+        }
+        let next = cur.clone();
+        ConvBranch {
+            cfg,
+            nblocks,
+            rows,
+            cur,
+            next,
+            ghosts_in: 0,
+            sweep_armed: None,
+        }
+    }
+}
+
+impl Branch for ConvBranch {
+    fn entry(&mut self, ep: EpId, msg: MsgBody, ctx: &mut Ctx) {
+        if self.rows == 0 {
+            // Inactive PE: still answer the barrier so main's count adds
+            // up.
+            if ep == EP_CONTROL {
+                if let Control::Sweep(main) = cast::<Control>(msg) {
+                    ctx.send(main, EP_SWEPT, ());
+                }
+            }
+            return;
+        }
+        match ep {
+            EP_GHOST => {
+                let g = cast::<GhostMsg>(msg);
+                let w = self.width();
+                if g.from_above {
+                    self.cur[..w].copy_from_slice(&g.row);
+                } else {
+                    self.cur[(self.rows + 1) * w..].copy_from_slice(&g.row);
+                }
+                self.ghosts_in += 1;
+                self.try_sweep(ctx);
+            }
+            EP_CONTROL => match cast::<Control>(msg) {
+                Control::Sweep(main) => {
+                    self.sweep_armed = Some(main);
+                    self.send_edges(ctx);
+                    self.try_sweep(ctx);
+                }
+                Control::Stop => {
+                    ctx.acc_add(self.cfg.checksum, self.interior_sum());
+                }
+            },
+            _ => unreachable!("unknown entry point {ep:?}"),
+        }
+    }
+}
+
+/// Seed of the main chare.
+#[derive(Clone)]
+pub struct MainSeed {
+    /// Parameters.
+    pub params: ConvParams,
+    /// BOC handle.
+    pub boc: Boc<ConvBranch>,
+    /// Max-change reduction.
+    pub maxdiff: Acc<MaxF64>,
+    /// Checksum reduction.
+    pub checksum: Acc<SumF64>,
+}
+message!(MainSeed);
+
+/// The main chare: per-sweep barrier + convergence decision.
+pub struct ConvMain {
+    seedv: MainSeed,
+    swept: usize,
+    iters: u32,
+}
+
+impl ConvMain {
+    fn launch_sweep(&mut self, ctx: &mut Ctx) {
+        let me = ctx.self_id();
+        self.iters += 1;
+        ctx.broadcast_branch(self.seedv.boc, EP_CONTROL, Control::Sweep(me));
+    }
+}
+
+impl ChareInit for ConvMain {
+    type Seed = MainSeed;
+    fn create(seed: MainSeed, ctx: &mut Ctx) -> Self {
+        let mut m = ConvMain {
+            seedv: seed,
+            swept: 0,
+            iters: 0,
+        };
+        m.launch_sweep(ctx);
+        m
+    }
+}
+
+impl Chare for ConvMain {
+    fn entry(&mut self, ep: EpId, msg: MsgBody, ctx: &mut Ctx) {
+        let me = ctx.self_id();
+        match ep {
+            EP_SWEPT => {
+                cast::<()>(msg);
+                self.swept += 1;
+                if self.swept == ctx.npes() {
+                    self.swept = 0;
+                    ctx.acc_collect(self.seedv.maxdiff, Notify::Chare(me, EP_MAXDIFF));
+                }
+            }
+            EP_MAXDIFF => {
+                let maxdiff = cast::<AccResult<f64>>(msg).value;
+                if maxdiff < self.seedv.params.eps || self.iters >= self.seedv.params.max_iters {
+                    ctx.broadcast_branch(self.seedv.boc, EP_CONTROL, Control::Stop);
+                    ctx.start_quiescence(Notify::Chare(me, EP_QUIESCENT));
+                } else {
+                    self.launch_sweep(ctx);
+                }
+            }
+            EP_QUIESCENT => {
+                let _ = cast::<QuiescenceMsg>(msg);
+                ctx.acc_collect(self.seedv.checksum, Notify::Chare(me, EP_SUM));
+            }
+            EP_SUM => {
+                let checksum = cast::<AccResult<f64>>(msg).value;
+                ctx.exit(ConvResult {
+                    iters: self.iters,
+                    checksum,
+                });
+            }
+            _ => unreachable!("unknown entry point {ep:?}"),
+        }
+    }
+}
+
+/// Build the convergent Jacobi program.
+pub fn build(params: ConvParams) -> Program {
+    let mut b = ProgramBuilder::new();
+    let maxdiff = b.accumulator::<MaxF64>();
+    let checksum = b.accumulator::<SumF64>();
+    let main = b.chare::<ConvMain>();
+    let boc = b.boc::<ConvBranch>(ConvCfg {
+        params,
+        maxdiff,
+        checksum,
+    });
+    b.main(
+        main,
+        MainSeed {
+            params,
+            boc,
+            maxdiff,
+            checksum,
+        },
+    );
+    b.build()
+}
+
+/// Fixed-iteration twin at the same sweep count (for the
+/// barrier-overhead comparison).
+pub fn fixed_twin(n: usize, iters: u32) -> Program {
+    crate::jacobi::build_default(JacobiParams { n, iters })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+    }
+
+    #[test]
+    fn seq_converges_and_tightening_eps_takes_longer() {
+        let loose = jacobi_conv_seq(ConvParams {
+            n: 24,
+            eps: 1e-3,
+            max_iters: 10_000,
+        });
+        let tight = jacobi_conv_seq(ConvParams {
+            n: 24,
+            eps: 1e-5,
+            max_iters: 10_000,
+        });
+        assert!(loose.iters > 0 && tight.iters > loose.iters);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_iterations_and_checksum() {
+        let params = ConvParams {
+            n: 24,
+            eps: 1e-3,
+            max_iters: 500,
+        };
+        let want = jacobi_conv_seq(params);
+        for npes in [1usize, 3, 6] {
+            let mut rep = build(params).run_sim_preset(npes, MachinePreset::NcubeLike);
+            let got = rep.take_result::<ConvResult>().expect("result");
+            assert_eq!(got.iters, want.iters, "npes={npes}");
+            assert!(
+                close(got.checksum, want.checksum),
+                "npes={npes}: {} vs {}",
+                got.checksum,
+                want.checksum
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let params = ConvParams {
+            n: 16,
+            eps: 0.0, // unreachable tolerance
+            max_iters: 7,
+        };
+        let mut rep = build(params).run_sim_preset(4, MachinePreset::NcubeLike);
+        assert_eq!(rep.take_result::<ConvResult>().unwrap().iters, 7);
+    }
+
+    #[test]
+    fn per_sweep_barrier_costs_over_fixed_iteration_twin() {
+        // Same grid, same sweep count: the convergent version pays a
+        // collective per sweep and must be slower.
+        let params = ConvParams {
+            n: 32,
+            eps: 0.0,
+            max_iters: 12,
+        };
+        let conv_t = build(params)
+            .run_sim_preset(4, MachinePreset::NcubeLike)
+            .time_ns;
+        let fixed_t = fixed_twin(32, 12)
+            .run_sim_preset(4, MachinePreset::NcubeLike)
+            .time_ns;
+        assert!(
+            conv_t > fixed_t,
+            "barrier version should cost more: {conv_t} vs {fixed_t}"
+        );
+    }
+
+    #[test]
+    fn works_on_threads() {
+        let params = ConvParams {
+            n: 20,
+            eps: 1e-3,
+            max_iters: 500,
+        };
+        let want = jacobi_conv_seq(params);
+        let mut rep = build(params).run_threads(3);
+        assert!(!rep.timed_out);
+        let got = rep.take_result::<ConvResult>().expect("result");
+        assert_eq!(got.iters, want.iters);
+        assert!(close(got.checksum, want.checksum));
+    }
+}

@@ -1,0 +1,36 @@
+//! # ck_apps — the benchmark suite of the SC '91 evaluation
+//!
+//! Six applications spanning the paper's workload classes, each built on
+//! the `chare_kernel` public API, plus sequential and hand-coded
+//! message-passing baselines:
+//!
+//! | Module | Workload class | Kernel features exercised |
+//! |--------|----------------|---------------------------|
+//! | [`fib`] | adaptive tree | dynamic creation, load balancing |
+//! | [`nqueens`] | irregular search, count all | accumulators, quiescence |
+//! | [`tsp`] | branch & bound | monotonic variables, bitvector priorities |
+//! | [`puzzle`] | IDA* search | repeated quiescence phases, int priorities |
+//! | [`jacobi`] | regular grid | branch-office chares, ghost exchange |
+//! | [`primes`] | embarrassingly parallel | accumulators (control case) |
+//! | [`quad`] | adaptive quadrature | data-dependent tree, ACWN |
+//! | [`matmul`] | Cannon's matrix multiply | mesh BOC, bulk data |
+//! | [`jacobi_conv`] | Jacobi to convergence | reduction-per-iteration barrier |
+//! | [`sortbench`] | sample sort | all-to-all communication |
+//! | [`baseline`] | — | raw machine layer (kernel-overhead comparison) |
+//!
+//! Every app exposes `build(params, queueing, balance) -> Program`,
+//! `build_default(params)`, and a sequential reference implementation
+//! used both for verification and as the speedup denominator.
+
+pub mod baseline;
+pub mod costs;
+pub mod jacobi;
+pub mod jacobi_conv;
+pub mod puzzle;
+pub mod quad;
+pub mod sortbench;
+pub mod tsp;
+pub mod fib;
+pub mod matmul;
+pub mod nqueens;
+pub mod primes;

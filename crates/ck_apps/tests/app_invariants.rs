@@ -1,0 +1,128 @@
+//! Cross-application invariants: every benchmark, run at modest scale,
+//! must satisfy the kernel's accounting laws — balanced send/receive
+//! counters, zero dead letters, and sane backlog high-water marks.
+
+use chare_kernel::prelude::*;
+use chare_kernel::CkReport;
+use ck_apps::{fib, jacobi, jacobi_conv, matmul, nqueens, primes, puzzle, quad, sortbench, tsp};
+
+fn all_programs() -> Vec<(&'static str, Program)> {
+    vec![
+        (
+            "fib",
+            fib::build_default(fib::FibParams { n: 18, grain: 10 }),
+        ),
+        (
+            "nqueens",
+            nqueens::build_default(nqueens::QueensParams { n: 8, grain: 4 }),
+        ),
+        (
+            "tsp",
+            tsp::build_default(tsp::TspParams {
+                n: 9,
+                seed: 3,
+                seq_tail: 5,
+            }),
+        ),
+        (
+            "puzzle",
+            puzzle::build_default(puzzle::PuzzleParams {
+                scramble: 16,
+                seed: 2,
+                split_depth: 3,
+            }),
+        ),
+        (
+            "jacobi",
+            jacobi::build_default(jacobi::JacobiParams { n: 24, iters: 6 }),
+        ),
+        (
+            "jacobi_conv",
+            jacobi_conv::build(jacobi_conv::ConvParams {
+                n: 16,
+                eps: 1e-3,
+                max_iters: 200,
+            }),
+        ),
+        (
+            "matmul",
+            matmul::build_default(matmul::MatmulParams { n: 32 }),
+        ),
+        (
+            "quad",
+            quad::build_default(quad::QuadParams {
+                a: 0.0,
+                b: 10.0,
+                tol: 1e-6,
+                grain: 0.2,
+            }),
+        ),
+        (
+            "sort",
+            sortbench::build_default(sortbench::SortParams {
+                total_keys: 2_400,
+                seed: 12,
+                sample_per_pe: 8,
+            }),
+        ),
+        (
+            "primes",
+            primes::build_default(primes::PrimesParams {
+                limit: 2_000,
+                chunks: 8,
+            }),
+        ),
+    ]
+}
+
+fn check(name: &str, rep: &CkReport) {
+    // Exit discards in-flight messages, so sent >= recv; but no dead
+    // letters and non-trivial execution are universal.
+    let sent = rep.counter_total("user_sent");
+    let recv = rep.counter_total("user_recv");
+    assert!(sent >= recv, "{name}: recv {recv} > sent {sent}");
+    assert!(
+        sent - recv <= 8,
+        "{name}: {} messages lost beyond the exit window",
+        sent - recv
+    );
+    assert_eq!(rep.counter_total("dead_letters"), 0, "{name}");
+    assert!(rep.counter_total("entries_executed") > 0, "{name}");
+    // Something was enqueued somewhere.
+    assert!(rep.counter_total("queue_hwm") >= 1, "{name}");
+}
+
+#[test]
+fn accounting_invariants_hold_for_every_app() {
+    for (name, prog) in all_programs() {
+        let rep = prog.run_sim_preset(6, MachinePreset::NcubeLike);
+        check(name, &rep);
+    }
+}
+
+#[test]
+fn invariants_hold_at_one_pe() {
+    for (name, prog) in all_programs() {
+        let rep = prog.run_sim_preset(1, MachinePreset::NcubeLike);
+        check(name, &rep);
+    }
+}
+
+#[test]
+fn utilization_and_imbalance_are_sane() {
+    for (name, prog) in all_programs() {
+        let rep = prog.run_sim_preset(4, MachinePreset::NcubeLike);
+        let sim = rep.sim.as_ref().expect("sim detail");
+        assert!(
+            sim.utilization > 0.0 && sim.utilization <= 1.0,
+            "{name}: utilization {}",
+            sim.utilization
+        );
+        assert!(
+            sim.imbalance >= 1.0 - 1e-9 && sim.imbalance <= 4.0 + 1e-9,
+            "{name}: imbalance {} out of [1, P]",
+            sim.imbalance
+        );
+        assert!(!sim.quiesced, "{name}: programs end with exit, not quiescence");
+    }
+}

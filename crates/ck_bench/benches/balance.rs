@@ -1,0 +1,47 @@
+//! Load balancing strategies on the real-parallel thread backend (the
+//! shared-memory half of Table 4): the same adaptive tree workload under
+//! each placement policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use chare_kernel::prelude::*;
+use ck_apps::nqueens;
+use multicomputer::{ThreadConfig, Topology};
+
+fn balance_benches(c: &mut Criterion) {
+    let params = nqueens::QueensParams { n: 11, grain: 6 };
+    let strategies = [
+        BalanceStrategy::Local,
+        BalanceStrategy::Random,
+        BalanceStrategy::CentralManager,
+        BalanceStrategy::TokenIdle,
+        BalanceStrategy::acwn(),
+    ];
+    let mut group = c.benchmark_group("balance/nqueens11_4pe");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for strat in &strategies {
+        let prog = nqueens::build(params, QueueingStrategy::Fifo, strat.clone());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strat.name()),
+            strat,
+            |b, _strat| {
+                b.iter(|| {
+                    let mut rep = prog.run_threads_cfg(
+                        ThreadConfig::new(4).with_watchdog(Duration::from_secs(30)),
+                        Topology::Hypercube,
+                    );
+                    assert!(!rep.timed_out);
+                    assert_eq!(rep.take_result::<u64>(), Some(2680));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, balance_benches);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Kernel messaging overhead on the thread backend (real-time half of
+//! Table 6): round-trip cost of kernel messages between two PE threads,
+//! and PE-local message self-send throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+use chare_kernel::prelude::*;
+use ck_apps::baseline::kernel_pingpong;
+use multicomputer::{ThreadConfig, Topology};
+
+/// A chare that sends itself `n` messages and exits — measures the
+/// kernel's local scheduling path with no network involved.
+struct SelfSender {
+    remaining: u32,
+}
+
+#[derive(Clone, Copy)]
+struct SelfSeed {
+    n: u32,
+}
+message!(SelfSeed);
+
+const EP_TICK: EpId = EpId(1);
+
+impl ChareInit for SelfSender {
+    type Seed = SelfSeed;
+    fn create(seed: SelfSeed, ctx: &mut Ctx) -> Self {
+        let me = ctx.self_id();
+        ctx.send(me, EP_TICK, ());
+        SelfSender {
+            remaining: seed.n,
+        }
+    }
+}
+
+impl Chare for SelfSender {
+    fn entry(&mut self, _ep: EpId, _msg: MsgBody, ctx: &mut Ctx) {
+        if self.remaining == 0 {
+            ctx.exit(());
+        } else {
+            self.remaining -= 1;
+            let me = ctx.self_id();
+            ctx.send(me, EP_TICK, ());
+        }
+    }
+}
+
+fn self_send_program(n: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    let kind = b.chare::<SelfSender>();
+    b.main(kind, SelfSeed { n });
+    b.build()
+}
+
+fn overhead_benches(c: &mut Criterion) {
+    let cfg = || ThreadConfig::new(2).with_watchdog(Duration::from_secs(30));
+
+    let mut group = c.benchmark_group("overhead");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let rounds = 2_000u32;
+    for bytes in [0u32, 1024] {
+        let prog = kernel_pingpong(rounds, bytes);
+        group.throughput(Throughput::Elements(2 * rounds as u64));
+        group.bench_function(format!("pingpong_{bytes}B"), |b| {
+            b.iter(|| {
+                let mut rep = prog.run_threads_cfg(cfg(), Topology::FullyConnected);
+                assert!(!rep.timed_out);
+                assert_eq!(rep.take_result::<u32>(), Some(rounds));
+            });
+        });
+    }
+
+    let n = 20_000u32;
+    let prog = self_send_program(n);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("local_self_send", |b| {
+        b.iter(|| {
+            let rep = prog.run_threads_cfg(
+                ThreadConfig::new(1).with_watchdog(Duration::from_secs(30)),
+                Topology::FullyConnected,
+            );
+            assert!(!rep.timed_out);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, overhead_benches);
+criterion_main!(benches);

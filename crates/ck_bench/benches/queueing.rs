@@ -1,0 +1,98 @@
+//! Microbenchmarks of the scheduler queue implementations (the constant
+//! factors behind the Table 5 strategies), plus bitvector-priority
+//! operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use chare_kernel::priority::{BitPrio, Priority};
+use chare_kernel::queueing::QueueingStrategy;
+
+fn queue_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    const N: u64 = 10_000;
+    group.throughput(Throughput::Elements(N));
+    for strat in QueueingStrategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("push_pop", strat.name()),
+            &strat,
+            |b, &strat| {
+                b.iter(|| {
+                    let mut q = strat.make::<u64>();
+                    for i in 0..N {
+                        q.push(Priority::Int((i % 64) as i64), i);
+                    }
+                    let mut sum = 0u64;
+                    while let Some(v) = q.pop() {
+                        sum = sum.wrapping_add(v);
+                    }
+                    sum
+                });
+            },
+        );
+    }
+
+    // Bitvector priorities of realistic search depth.
+    for strat in [QueueingStrategy::Fifo, QueueingStrategy::BitvecPriority] {
+        group.bench_with_input(
+            BenchmarkId::new("push_pop_bitprio", strat.name()),
+            &strat,
+            |b, &strat| {
+                let prios: Vec<Priority> = (0..N)
+                    .map(|i| {
+                        let mut p = BitPrio::root();
+                        for d in 0..12 {
+                            p = p.child(((i >> d) & 0xF) as u32, 4);
+                        }
+                        Priority::Bits(p)
+                    })
+                    .collect();
+                b.iter(|| {
+                    let mut q = strat.make::<u64>();
+                    for (i, p) in prios.iter().enumerate() {
+                        q.push(p.clone(), i as u64);
+                    }
+                    let mut sum = 0u64;
+                    while let Some(v) = q.pop() {
+                        sum = sum.wrapping_add(v);
+                    }
+                    sum
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("bitprio");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("child_depth24", |b| {
+        b.iter(|| {
+            let mut p = BitPrio::root();
+            for d in 0..24u32 {
+                p = p.child(d % 8, 3);
+            }
+            p
+        });
+    });
+    group.bench_function("cmp_depth24", |b| {
+        let mut x = BitPrio::root();
+        let mut y = BitPrio::root();
+        for d in 0..24u32 {
+            x = x.child(d % 8, 3);
+            y = y.child((d + 1) % 8, 3);
+        }
+        b.iter(|| x.cmp(&y));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, queue_benches);
+criterion_main!(benches);

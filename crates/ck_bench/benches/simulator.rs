@@ -1,0 +1,52 @@
+//! Harness performance: how fast the discrete-event simulator itself
+//! executes kernel programs (events per second of host time). Keeps the
+//! experiment turnaround honest as the machine model grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use chare_kernel::prelude::*;
+use ck_apps::{fib, nqueens};
+
+fn simulator_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // Message-heavy adaptive tree: measures dispatch + routing overhead.
+    let params = nqueens::QueensParams { n: 9, grain: 5 };
+    let prog = nqueens::build_default(params);
+    let events = {
+        let rep = prog.run_sim_preset(16, MachinePreset::NcubeLike);
+        rep.sim.as_ref().unwrap().events
+    };
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("nqueens9_16pe", |b| {
+        b.iter(|| {
+            let mut rep = prog.run_sim_preset(16, MachinePreset::NcubeLike);
+            assert_eq!(rep.take_result::<u64>(), Some(352));
+        });
+    });
+
+    // PE-count scaling of the event loop at fixed total work.
+    let prog = fib::build_default(fib::FibParams { n: 20, grain: 12 });
+    let want = fib::fib_seq(20);
+    for npes in [4usize, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("fib20_scaling", npes),
+            &npes,
+            |b, &npes| {
+                b.iter(|| {
+                    let mut rep = prog.run_sim_preset(npes, MachinePreset::NcubeLike);
+                    assert_eq!(rep.take_result::<u64>(), Some(want));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, simulator_benches);
+criterion_main!(benches);

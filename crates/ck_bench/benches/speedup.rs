@@ -1,0 +1,68 @@
+//! Wall-clock behavior on the real-parallel thread backend (the
+//! shared-memory-machine side of Tables 2/3): each benchmark at 1, 2 and
+//! 4 PE threads. On a multi-core host these curves show real speedup;
+//! on a single-core host (like the CI machine the committed numbers come
+//! from) they measure oversubscription overhead instead, and the
+//! simulator carries the scaling story.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use chare_kernel::prelude::*;
+use ck_apps::{fib, jacobi, nqueens, primes};
+use multicomputer::{ThreadConfig, Topology};
+
+fn thread_cfg(npes: usize) -> ThreadConfig {
+    ThreadConfig::new(npes).with_watchdog(Duration::from_secs(30))
+}
+
+fn bench_app(c: &mut Criterion, name: &str, prog: &Program, check: impl Fn(&mut CkReport)) {
+    let mut group = c.benchmark_group(format!("threads/{name}"));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for npes in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(npes), &npes, |b, &npes| {
+            b.iter(|| {
+                let mut rep = prog.run_threads_cfg(thread_cfg(npes), Topology::Hypercube);
+                assert!(!rep.timed_out);
+                check(&mut rep);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn speedup_benches(c: &mut Criterion) {
+    let fib_prog = fib::build_default(fib::FibParams { n: 25, grain: 17 });
+    let fib_want = fib::fib_seq(25);
+    bench_app(c, "fib25", &fib_prog, move |rep| {
+        assert_eq!(rep.take_result::<u64>(), Some(fib_want));
+    });
+
+    let q_prog = nqueens::build_default(nqueens::QueensParams { n: 10, grain: 6 });
+    bench_app(c, "nqueens10", &q_prog, move |rep| {
+        assert_eq!(rep.take_result::<u64>(), Some(724));
+    });
+
+    let p_prog = primes::build_default(primes::PrimesParams {
+        limit: 60_000,
+        chunks: 128,
+    });
+    let p_want = primes::primes_seq(60_000);
+    bench_app(c, "primes60k", &p_prog, move |rep| {
+        assert_eq!(rep.take_result::<u64>(), Some(p_want));
+    });
+
+    let j_params = jacobi::JacobiParams { n: 64, iters: 20 };
+    let j_prog = jacobi::build_default(j_params);
+    let j_want = jacobi::jacobi_seq(j_params);
+    bench_app(c, "jacobi64", &j_prog, move |rep| {
+        let got = rep.take_result::<f64>().expect("checksum");
+        assert!((got - j_want).abs() <= 1e-9 * j_want.abs().max(1.0));
+    });
+}
+
+criterion_group!(benches, speedup_benches);
+criterion_main!(benches);

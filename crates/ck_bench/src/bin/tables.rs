@@ -1,0 +1,88 @@
+//! Regenerate the evaluation tables and figures.
+//!
+//! ```text
+//! cargo run --release -p ck_bench --bin tables -- --all
+//! cargo run --release -p ck_bench --bin tables -- --table 2
+//! cargo run --release -p ck_bench --bin tables -- --fig 1 --csv
+//! cargo run --release -p ck_bench --bin tables -- --all --quick
+//! ```
+
+use ck_bench::{Scale, Table};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tables [--all | --table N | --fig N] [--quick] [--csv | --md]\n\
+         tables: 1..=8   figures: 1..=8"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut csv = false;
+    let mut md = false;
+    let mut which: Vec<(bool, u32)> = Vec::new(); // (is_table, id)
+    let mut all = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--csv" => csv = true,
+            "--md" => md = true,
+            "--all" => all = true,
+            "--table" | "--fig" => {
+                let is_table = args[i] == "--table";
+                i += 1;
+                let id = args
+                    .get(i)
+                    .and_then(|a| a.parse().ok())
+                    .unwrap_or_else(|| usage());
+                which.push((is_table, id));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if !all && which.is_empty() {
+        all = true;
+    }
+
+    let run = |is_table: bool, id: u32| -> Table {
+        match (is_table, id) {
+            (true, 1) => ck_bench::table1(scale),
+            (true, 2) => ck_bench::table2(scale),
+            (true, 3) => ck_bench::table3(scale),
+            (true, 4) => ck_bench::table4(scale),
+            (true, 5) => ck_bench::table5(scale),
+            (true, 6) => ck_bench::table6(scale),
+            (true, 7) => ck_bench::table7(scale),
+            (true, 8) => ck_bench::table8(scale),
+            (false, 1) => ck_bench::fig1(scale),
+            (false, 2) => ck_bench::fig2(scale),
+            (false, 3) => ck_bench::fig3(scale),
+            (false, 4) => ck_bench::fig4(scale),
+            (false, 5) => ck_bench::fig5(scale),
+            (false, 6) => ck_bench::fig6(scale),
+            (false, 7) => ck_bench::fig7(scale),
+            (false, 8) => ck_bench::fig8(scale),
+            _ => usage(),
+        }
+    };
+
+    let tables: Vec<Table> = if all {
+        ck_bench::all(scale)
+    } else {
+        which.iter().map(|&(t, id)| run(t, id)).collect()
+    };
+    for t in tables {
+        if csv {
+            println!("# {}", t.title);
+            print!("{}", t.to_csv());
+        } else if md {
+            println!("{}", t.to_markdown());
+        } else {
+            println!("{t}");
+        }
+    }
+}

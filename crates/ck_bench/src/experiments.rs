@@ -1,0 +1,1009 @@
+//! One function per table/figure of the reconstructed evaluation.
+//!
+//! Each function runs the relevant programs on the deterministic
+//! simulator and returns a [`Table`]. Two scales are provided:
+//! [`Scale::Quick`] keeps every experiment under a few seconds (used by
+//! the test suite and `--quick`), [`Scale::Full`] is the paper-scale
+//! configuration the committed `EXPERIMENTS.md` numbers come from.
+
+use chare_kernel::prelude::*;
+use ck_apps::baseline::{kernel_pingpong, raw_jacobi, raw_pingpong};
+use ck_apps::{fib, jacobi, matmul, nqueens, primes, puzzle, quad, sortbench, tsp};
+use multicomputer::{Cost, MachinePreset, SimConfig};
+
+use crate::table::Table;
+
+/// Experiment scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Small instances, PE counts up to 32 — seconds, for tests.
+    Quick,
+    /// Paper-scale instances, PE counts up to 256.
+    Full,
+}
+
+impl Scale {
+    fn pes(self) -> &'static [usize] {
+        match self {
+            Scale::Quick => &[1, 2, 4, 8, 16, 32],
+            Scale::Full => &[1, 2, 4, 8, 16, 32, 64, 128, 256],
+        }
+    }
+}
+
+/// One benchmark in the standard suite: how to build it under arbitrary
+/// strategies, plus its table defaults.
+pub struct AppCase {
+    /// Stable name used in tables.
+    pub name: &'static str,
+    /// Build with explicit strategies.
+    pub build: Box<dyn Fn(QueueingStrategy, BalanceStrategy) -> Program>,
+    /// Queueing strategy the speedup tables use.
+    pub queueing: QueueingStrategy,
+    /// Balance strategy the speedup tables use.
+    pub balance: BalanceStrategy,
+}
+
+impl AppCase {
+    /// Build with the table-default strategies.
+    pub fn build_default(&self) -> Program {
+        (self.build)(self.queueing, self.balance.clone())
+    }
+}
+
+/// The six benchmarks at the given scale.
+pub fn standard_suite(scale: Scale) -> Vec<AppCase> {
+    let quick = scale == Scale::Quick;
+    let fib_params = if quick {
+        fib::FibParams { n: 24, grain: 14 }
+    } else {
+        fib::FibParams { n: 30, grain: 16 }
+    };
+    let queens_params = if quick {
+        nqueens::QueensParams { n: 10, grain: 6 }
+    } else {
+        nqueens::QueensParams { n: 12, grain: 7 }
+    };
+    let tsp_params = if quick {
+        tsp::TspParams {
+            n: 11,
+            seed: 7,
+            seq_tail: 6,
+        }
+    } else {
+        tsp::TspParams {
+            n: 13,
+            seed: 7,
+            seq_tail: 7,
+        }
+    };
+    let puzzle_params = if quick {
+        puzzle::PuzzleParams {
+            scramble: 52,
+            seed: 5,
+            split_depth: 7,
+        }
+    } else {
+        puzzle::PuzzleParams {
+            scramble: 52,
+            seed: 5,
+            split_depth: 9,
+        }
+    };
+    let jacobi_params = if quick {
+        jacobi::JacobiParams { n: 128, iters: 10 }
+    } else {
+        jacobi::JacobiParams { n: 256, iters: 25 }
+    };
+    let matmul_params = if quick {
+        matmul::MatmulParams { n: 96 }
+    } else {
+        matmul::MatmulParams { n: 192 }
+    };
+    let quad_params = if quick {
+        quad::QuadParams {
+            a: 0.0,
+            b: 10.0,
+            tol: 1e-8,
+            grain: 0.1,
+        }
+    } else {
+        quad::QuadParams {
+            a: 0.0,
+            b: 10.0,
+            tol: 1e-11,
+            grain: 0.02,
+        }
+    };
+    let sort_params = if quick {
+        sortbench::SortParams {
+            total_keys: 48_000,
+            seed: 12,
+            sample_per_pe: 16,
+        }
+    } else {
+        sortbench::SortParams {
+            total_keys: 1_000_000,
+            seed: 12,
+            sample_per_pe: 32,
+        }
+    };
+    let primes_params = if quick {
+        primes::PrimesParams {
+            limit: 50_000,
+            chunks: 128,
+        }
+    } else {
+        primes::PrimesParams {
+            limit: 400_000,
+            chunks: 1024,
+        }
+    };
+    vec![
+        AppCase {
+            name: "fib",
+            build: Box::new(move |q, b| fib::build(fib_params, q, b)),
+            queueing: QueueingStrategy::Fifo,
+            balance: BalanceStrategy::acwn(),
+        },
+        AppCase {
+            name: "nqueens",
+            build: Box::new(move |q, b| nqueens::build(queens_params, q, b)),
+            queueing: QueueingStrategy::Fifo,
+            balance: BalanceStrategy::Random,
+        },
+        AppCase {
+            name: "tsp",
+            build: Box::new(move |q, b| tsp::build(tsp_params, q, b)),
+            queueing: QueueingStrategy::BitvecPriority,
+            balance: BalanceStrategy::Random,
+        },
+        AppCase {
+            name: "puzzle",
+            build: Box::new(move |q, b| puzzle::build(puzzle_params, q, b)),
+            queueing: QueueingStrategy::IntPriority,
+            balance: BalanceStrategy::Random,
+        },
+        AppCase {
+            name: "jacobi",
+            build: Box::new(move |q, b| jacobi::build(jacobi_params, q, b)),
+            queueing: QueueingStrategy::Fifo,
+            balance: BalanceStrategy::Local,
+        },
+        AppCase {
+            name: "matmul",
+            build: Box::new(move |q, b| matmul::build(matmul_params, q, b)),
+            queueing: QueueingStrategy::Fifo,
+            balance: BalanceStrategy::Local,
+        },
+        AppCase {
+            name: "quad",
+            build: Box::new(move |q, b| quad::build(quad_params, q, b)),
+            queueing: QueueingStrategy::Fifo,
+            balance: BalanceStrategy::acwn(),
+        },
+        AppCase {
+            name: "sort",
+            build: Box::new(move |q, b| sortbench::build(sort_params, q, b)),
+            queueing: QueueingStrategy::Fifo,
+            balance: BalanceStrategy::Local,
+        },
+        AppCase {
+            name: "primes",
+            build: Box::new(move |q, b| primes::build(primes_params, q, b)),
+            queueing: QueueingStrategy::Fifo,
+            balance: BalanceStrategy::Random,
+        },
+    ]
+}
+
+fn ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+/// Table 1: benchmark characteristics on a 16-PE NCUBE-like machine.
+pub fn table1(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Table 1: benchmark characteristics (16-PE simulated NCUBE-like hypercube)",
+        &[
+            "program",
+            "chares",
+            "entries",
+            "user msgs",
+            "KB moved",
+            "sim ms",
+        ],
+    );
+    for case in standard_suite(scale) {
+        let prog = case.build_default();
+        let rep = prog.run_sim_preset(16, MachinePreset::NcubeLike);
+        let bytes = rep.sim.as_ref().map(|s| s.bytes).unwrap_or(0);
+        t.row(vec![
+            case.name.into(),
+            rep.counter_total("chares_created").to_string(),
+            rep.counter_total("entries_executed").to_string(),
+            rep.counter_total("user_sent").to_string(),
+            format!("{:.0}", bytes as f64 / 1024.0),
+            ms(rep.time_ns),
+        ]);
+    }
+    t.note("default strategies per program; deterministic simulator run");
+    t
+}
+
+/// Speedup rows for one machine preset across PE counts.
+fn speedup_table(title: &str, preset: MachinePreset, scale: Scale, pes: &[usize]) -> Table {
+    let mut headers: Vec<String> = vec!["program".into()];
+    headers.extend(pes.iter().map(|p| format!("P={p}")));
+    let mut t = Table {
+        title: title.into(),
+        headers,
+        rows: Vec::new(),
+        notes: Vec::new(),
+    };
+    for case in standard_suite(scale) {
+        let prog = case.build_default();
+        let t1 = prog.run_sim_preset(1, preset).time_ns;
+        let mut row = vec![case.name.to_string()];
+        for &p in pes {
+            let tp = prog.run_sim_preset(p, preset).time_ns;
+            row.push(format!("{:.2}", t1 as f64 / tp as f64));
+        }
+        t.row(row);
+    }
+    t.note(format!(
+        "speedup = T(1)/T(P), simulated time on {preset:?}; T(1) includes kernel overhead"
+    ));
+    t
+}
+
+/// Table 2: speedups on the simulated nonshared-memory hypercube.
+pub fn table2(scale: Scale) -> Table {
+    speedup_table(
+        "Table 2: speedup on the simulated NCUBE-like hypercube",
+        MachinePreset::NcubeLike,
+        scale,
+        scale.pes(),
+    )
+}
+
+/// Table 3: speedups on the simulated shared-bus machine (the
+/// Sequent-class port). Bus machines of the era topped out well below
+/// the hypercubes' PE counts.
+pub fn table3(scale: Scale) -> Table {
+    let pes: &[usize] = match scale {
+        Scale::Quick => &[1, 2, 4, 8],
+        Scale::Full => &[1, 2, 4, 8, 16, 24],
+    };
+    speedup_table(
+        "Table 3: speedup on the simulated shared-bus multiprocessor",
+        MachinePreset::SharedBusLike,
+        scale,
+        pes,
+    )
+}
+
+/// Table 7: speedups on the second simulated nonshared-memory machine
+/// (iPSC/2-like: higher software overhead, faster links) — the paper's
+/// cross-machine portability evidence.
+pub fn table7(scale: Scale) -> Table {
+    speedup_table(
+        "Table 7: speedup on the simulated iPSC-like hypercube",
+        MachinePreset::IpscLike,
+        scale,
+        scale.pes(),
+    )
+}
+
+/// Table 4: dynamic load balancing strategies on the adaptive tree
+/// workloads.
+pub fn table4(scale: Scale) -> Table {
+    let npes = match scale {
+        Scale::Quick => 16,
+        Scale::Full => 64,
+    };
+    let strategies = [
+        BalanceStrategy::Local,
+        BalanceStrategy::Random,
+        BalanceStrategy::CentralManager,
+        BalanceStrategy::TokenIdle,
+        BalanceStrategy::acwn(),
+    ];
+    let mut t = Table::new(
+        format!("Table 4: load balancing strategies ({npes}-PE simulated hypercube)"),
+        &[
+            "program",
+            "strategy",
+            "sim ms",
+            "speedup",
+            "imbalance",
+            "seeds fwd",
+        ],
+    );
+    for case in standard_suite(scale)
+        .into_iter()
+        .filter(|c| c.name == "fib" || c.name == "nqueens")
+    {
+        let t1 = {
+            let prog = (case.build)(case.queueing, BalanceStrategy::Local);
+            prog.run_sim_preset(1, MachinePreset::NcubeLike).time_ns
+        };
+        for strat in &strategies {
+            let prog = (case.build)(case.queueing, strat.clone());
+            let rep = prog.run_sim_preset(npes, MachinePreset::NcubeLike);
+            let imb = rep.sim.as_ref().map(|s| s.imbalance).unwrap_or(f64::NAN);
+            t.row(vec![
+                case.name.into(),
+                strat.name().into(),
+                ms(rep.time_ns),
+                format!("{:.2}", t1 as f64 / rep.time_ns as f64),
+                format!("{imb:.2}"),
+                rep.counter_total("seeds_forwarded").to_string(),
+            ]);
+        }
+    }
+    t.note("imbalance = max PE busy time / mean (1.0 is perfect)");
+    t
+}
+
+/// Table 5: queueing strategies and speculative search overhead.
+pub fn table5(scale: Scale) -> Table {
+    let npes = match scale {
+        Scale::Quick => 8,
+        Scale::Full => 16,
+    };
+    let mut t = Table::new(
+        format!("Table 5: queueing strategy vs search overhead ({npes}-PE simulated hypercube)"),
+        &["program", "queueing", "nodes", "vs seq", "sim ms"],
+    );
+    // Sequential node counts as the baseline.
+    let (tsp_params, puzzle_params) = match scale {
+        Scale::Quick => (
+            tsp::TspParams {
+                n: 11,
+                seed: 7,
+                seq_tail: 6,
+            },
+            puzzle::PuzzleParams {
+                scramble: 52,
+                seed: 5,
+                split_depth: 7,
+            },
+        ),
+        Scale::Full => (
+            tsp::TspParams {
+                n: 13,
+                seed: 7,
+                seq_tail: 7,
+            },
+            puzzle::PuzzleParams {
+                scramble: 52,
+                seed: 5,
+                split_depth: 9,
+            },
+        ),
+    };
+    let inst = tsp::TspInstance::random(tsp_params.n as usize, tsp_params.seed);
+    let (_, tsp_seq_nodes) = tsp::tsp_seq(&inst);
+    let start = puzzle::scramble(puzzle_params.scramble, puzzle_params.seed);
+    let (_, puz_seq_nodes) = puzzle::ida_seq(start);
+
+    for q in QueueingStrategy::ALL {
+        let prog = tsp::build(tsp_params, q, BalanceStrategy::Random);
+        let mut rep = prog.run_sim_preset(npes, MachinePreset::NcubeLike);
+        let res = rep.take_result::<tsp::TspResult>().expect("tsp result");
+        t.row(vec![
+            "tsp".into(),
+            q.name().into(),
+            res.nodes.to_string(),
+            format!("{:.2}x", res.nodes as f64 / tsp_seq_nodes as f64),
+            ms(rep.time_ns),
+        ]);
+    }
+    for q in QueueingStrategy::ALL {
+        let prog = puzzle::build(puzzle_params, q, BalanceStrategy::Random);
+        let mut rep = prog.run_sim_preset(npes, MachinePreset::NcubeLike);
+        let res = rep
+            .take_result::<puzzle::PuzzleResult>()
+            .expect("puzzle result");
+        t.row(vec![
+            "puzzle".into(),
+            q.name().into(),
+            res.nodes.to_string(),
+            format!("{:.2}x", res.nodes as f64 / puz_seq_nodes as f64),
+            ms(rep.time_ns),
+        ]);
+    }
+    t.note(format!(
+        "sequential baselines: tsp {tsp_seq_nodes} nodes, puzzle {puz_seq_nodes} nodes"
+    ));
+    t
+}
+
+/// Table 6: kernel overhead vs hand-coded message passing.
+pub fn table6(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Table 6: kernel overhead vs hand-coded message passing (simulated NCUBE-like)",
+        &["experiment", "hand-coded", "kernel", "ratio"],
+    );
+    let rounds = 500;
+    for bytes in [0u32, 64, 1024] {
+        let raw = raw_pingpong(rounds, bytes, MachinePreset::NcubeLike);
+        let prog = kernel_pingpong(rounds, bytes);
+        let kernel = prog.run_sim_preset(2, MachinePreset::NcubeLike).time_ns;
+        let per_raw = raw as f64 / (2 * rounds) as f64 / 1000.0;
+        let per_k = kernel as f64 / (2 * rounds) as f64 / 1000.0;
+        t.row(vec![
+            format!("ping-pong {bytes}B (us/msg)"),
+            format!("{per_raw:.1}"),
+            format!("{per_k:.1}"),
+            format!("{:.2}", per_k / per_raw),
+        ]);
+    }
+    let params = match scale {
+        Scale::Quick => jacobi::JacobiParams { n: 64, iters: 10 },
+        Scale::Full => jacobi::JacobiParams { n: 256, iters: 25 },
+    };
+    for npes in [4usize, 8] {
+        let (_, raw_t) = raw_jacobi(params, npes, MachinePreset::NcubeLike);
+        let prog = jacobi::build_default(params);
+        let kernel_t = prog.run_sim_preset(npes, MachinePreset::NcubeLike).time_ns;
+        t.row(vec![
+            format!("jacobi {}^2 x{} P={npes} (ms)", params.n, params.iters),
+            ms(raw_t),
+            ms(kernel_t),
+            format!("{:.2}", kernel_t as f64 / raw_t as f64),
+        ]);
+    }
+    t.note("ratio = kernel / hand-coded; the envelope+scheduling tax");
+    t
+}
+
+/// Figure 1: speedup curves (CSV series, one row per PE count).
+pub fn fig1(scale: Scale) -> Table {
+    let pes = scale.pes();
+    let suite = standard_suite(scale);
+    let mut headers: Vec<String> = vec!["P".into()];
+    headers.extend(suite.iter().map(|c| c.name.to_string()));
+    let mut t = Table {
+        title: "Figure 1: speedup vs PE count (simulated NCUBE-like hypercube)".into(),
+        headers,
+        rows: Vec::new(),
+        notes: Vec::new(),
+    };
+    let progs: Vec<Program> = suite.iter().map(|c| c.build_default()).collect();
+    let t1s: Vec<u64> = progs
+        .iter()
+        .map(|p| p.run_sim_preset(1, MachinePreset::NcubeLike).time_ns)
+        .collect();
+    for &p in pes {
+        let mut row = vec![p.to_string()];
+        for (prog, &t1) in progs.iter().zip(&t1s) {
+            let tp = prog.run_sim_preset(p, MachinePreset::NcubeLike).time_ns;
+            row.push(format!("{:.2}", t1 as f64 / tp as f64));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Figure 2: grain-size sensitivity of fib.
+pub fn fig2(scale: Scale) -> Table {
+    let (n, npes, grains): (u32, usize, &[u32]) = match scale {
+        Scale::Quick => (24, 16, &[8, 10, 12, 14, 16, 18, 20]),
+        Scale::Full => (30, 64, &[10, 12, 14, 16, 18, 20, 22, 24]),
+    };
+    let mut t = Table::new(
+        format!("Figure 2: grain-size sensitivity, fib({n}) on {npes} PEs (simulated hypercube)"),
+        &["grain", "chares", "sim ms", "speedup"],
+    );
+    for &grain in grains {
+        let prog = fib::build_default(fib::FibParams { n, grain });
+        let t1 = prog.run_sim_preset(1, MachinePreset::NcubeLike).time_ns;
+        let rep = prog.run_sim_preset(npes, MachinePreset::NcubeLike);
+        t.row(vec![
+            grain.to_string(),
+            rep.counter_total("chares_created").to_string(),
+            ms(rep.time_ns),
+            format!("{:.2}", t1 as f64 / rep.time_ns as f64),
+        ]);
+    }
+    t.note("too fine a grain drowns in per-message overhead; too coarse starves PEs");
+    t
+}
+
+/// Figure 3: load evolution under random vs ACWN placement (sampled
+/// per-PE backlog spread over time).
+pub fn fig3(scale: Scale) -> Table {
+    let npes = match scale {
+        Scale::Quick => 16,
+        Scale::Full => 64,
+    };
+    let params = match scale {
+        Scale::Quick => nqueens::QueensParams { n: 10, grain: 6 },
+        Scale::Full => nqueens::QueensParams { n: 12, grain: 7 },
+    };
+    let mut t = Table::new(
+        format!("Figure 3: queue-length evolution, nqueens on {npes}-PE simulated hypercube"),
+        &[
+            "strategy",
+            "sample t(ms)",
+            "max backlog",
+            "mean backlog",
+            "idle PEs",
+        ],
+    );
+    for strat in [BalanceStrategy::Random, BalanceStrategy::acwn()] {
+        let prog = nqueens::build(params, QueueingStrategy::Fifo, strat.clone());
+        let cfg = SimConfig::preset(npes, MachinePreset::NcubeLike)
+            .with_sampling(Cost::millis(1));
+        let rep = prog.run_sim(cfg);
+        let sim = rep.sim.as_ref().expect("sim detail");
+        for (time, backlog) in sim
+            .samples
+            .iter()
+            .take(12)
+        {
+            let max = backlog.iter().copied().max().unwrap_or(0);
+            let mean = backlog.iter().sum::<usize>() as f64 / backlog.len() as f64;
+            let idle = backlog.iter().filter(|&&b| b == 0).count();
+            t.row(vec![
+                strat.name().into(),
+                format!("{:.1}", time.as_nanos() as f64 / 1e6),
+                max.to_string(),
+                format!("{mean:.1}"),
+                idle.to_string(),
+            ]);
+        }
+    }
+    t.note("1 ms sampling; first 12 samples shown per strategy");
+    t
+}
+
+/// Figure 4: search overhead vs PE count for TSP under FIFO vs
+/// bitvector priorities (the speculative-work anomaly).
+pub fn fig4(scale: Scale) -> Table {
+    let params = match scale {
+        Scale::Quick => tsp::TspParams {
+            n: 11,
+            seed: 7,
+            seq_tail: 6,
+        },
+        Scale::Full => tsp::TspParams {
+            n: 13,
+            seed: 7,
+            seq_tail: 7,
+        },
+    };
+    let pes: &[usize] = match scale {
+        Scale::Quick => &[1, 4, 16],
+        Scale::Full => &[1, 4, 16, 64],
+    };
+    let inst = tsp::TspInstance::random(params.n as usize, params.seed);
+    let (_, seq_nodes) = tsp::tsp_seq(&inst);
+    let mut t = Table::new(
+        format!(
+            "Figure 4: TSP search overhead vs P (n={}, sequential = {seq_nodes} nodes)",
+            params.n
+        ),
+        &["P", "fifo nodes", "fifo ratio", "bitvec nodes", "bitvec ratio"],
+    );
+    for &p in pes {
+        let mut fifo_rep = tsp::build(params, QueueingStrategy::Fifo, BalanceStrategy::Random)
+            .run_sim_preset(p, MachinePreset::NcubeLike);
+        let fifo = fifo_rep.take_result::<tsp::TspResult>().expect("result");
+        let mut prio_rep = tsp::build(
+            params,
+            QueueingStrategy::BitvecPriority,
+            BalanceStrategy::Random,
+        )
+        .run_sim_preset(p, MachinePreset::NcubeLike);
+        let prio = prio_rep.take_result::<tsp::TspResult>().expect("result");
+        t.row(vec![
+            p.to_string(),
+            fifo.nodes.to_string(),
+            format!("{:.2}", fifo.nodes as f64 / seq_nodes as f64),
+            prio.nodes.to_string(),
+            format!("{:.2}", prio.nodes as f64 / seq_nodes as f64),
+        ]);
+    }
+    t.note("ratio = parallel nodes expanded / sequential; 1.00 is no wasted speculation");
+    t
+}
+
+/// Table 8: communication profile of every benchmark — message volume,
+/// sizes and locality, the data behind the grain discussion.
+pub fn table8(scale: Scale) -> Table {
+    let npes = 16;
+    let mut t = Table::new(
+        format!("Table 8: communication profile ({npes}-PE simulated NCUBE-like hypercube)"),
+        &[
+            "program",
+            "packets",
+            "avg B/pkt",
+            "pkts/entry",
+            "KB/PE",
+            "peak backlog",
+        ],
+    );
+    for case in standard_suite(scale) {
+        let prog = case.build_default();
+        let rep = prog.run_sim_preset(npes, MachinePreset::NcubeLike);
+        let sim = rep.sim.as_ref().expect("sim detail");
+        let entries = rep.counter_total("entries_executed").max(1);
+        t.row(vec![
+            case.name.into(),
+            sim.packets.to_string(),
+            format!("{:.0}", sim.bytes as f64 / sim.packets.max(1) as f64),
+            format!("{:.2}", sim.packets as f64 / entries as f64),
+            format!("{:.0}", sim.bytes as f64 / npes as f64 / 1024.0),
+            rep.counter_total("queue_hwm").to_string(),
+        ]);
+    }
+    t.note("peak backlog = sum over PEs of each PE's backlog high-water mark");
+    t
+}
+
+/// Figure 5 (ablation): spanning-tree vs direct broadcast. A
+/// barrier-style program does `rounds` broadcast+gather cycles; the
+/// per-round time isolates broadcast latency. The tree's O(log P)
+/// advantage over the root-serialized O(P) loop grows with P.
+pub fn fig5(scale: Scale) -> Table {
+    use chare_kernel::BroadcastMode;
+
+    let (rounds, pes): (u32, &[usize]) = match scale {
+        Scale::Quick => (20, &[4, 16, 64]),
+        Scale::Full => (20, &[4, 16, 64, 128, 256]),
+    };
+    let mut t = Table::new(
+        format!("Figure 5 (ablation): broadcast mode, {rounds}-round broadcast/gather"),
+        &["P", "direct us/round", "tree us/round", "tree gain"],
+    );
+    for &p in pes {
+        let per_round = |mode: BroadcastMode| {
+            let prog = sync_rounds_program(rounds, mode);
+            let rep = prog.run_sim_preset(p, MachinePreset::NcubeLike);
+            rep.time_ns as f64 / rounds as f64 / 1000.0
+        };
+        let direct = per_round(BroadcastMode::Direct);
+        let tree = per_round(BroadcastMode::Tree);
+        t.row(vec![
+            p.to_string(),
+            format!("{direct:.1}"),
+            format!("{tree:.1}"),
+            format!("{:.2}x", direct / tree),
+        ]);
+    }
+    t.note("broadcast+gather over a branch-office chare; NCUBE-like cost model");
+    t.note("tree pays extra hop latency at small P, wins once root NIC serialization dominates");
+    t
+}
+
+/// Barrier-style broadcast/gather microbenchmark used by `fig5`.
+pub fn sync_rounds_program(rounds: u32, mode: chare_kernel::BroadcastMode) -> Program {
+    use sync_rounds::*;
+    let mut b = ProgramBuilder::new();
+    let main = b.chare::<SyncMain>();
+    let boc = b.boc::<SyncBranch>(());
+    b.broadcast_mode(mode);
+    b.main(main, SyncSeed { rounds, boc });
+    b.build()
+}
+
+mod sync_rounds {
+    use chare_kernel::prelude::*;
+
+    pub const EP_ROUND: EpId = EpId(1);
+    pub const EP_ACK: EpId = EpId(2);
+
+    #[derive(Clone)]
+    pub struct SyncSeed {
+        pub rounds: u32,
+        pub boc: Boc<SyncBranch>,
+    }
+    message!(SyncSeed);
+
+    /// One round message (cloned per branch by the broadcast).
+    #[derive(Clone, Copy)]
+    pub struct RoundMsg {
+        pub round: u32,
+        pub main: ChareId,
+    }
+    message!(RoundMsg);
+
+    pub struct SyncMain {
+        rounds: u32,
+        current: u32,
+        acks: usize,
+        boc: Boc<SyncBranch>,
+    }
+
+    impl SyncMain {
+        fn launch(&mut self, ctx: &mut Ctx) {
+            let me = ctx.self_id();
+            ctx.broadcast_branch(
+                self.boc,
+                EP_ROUND,
+                RoundMsg {
+                    round: self.current,
+                    main: me,
+                },
+            );
+        }
+    }
+
+    impl ChareInit for SyncMain {
+        type Seed = SyncSeed;
+        fn create(seed: SyncSeed, ctx: &mut Ctx) -> Self {
+            let mut main = SyncMain {
+                rounds: seed.rounds,
+                current: 0,
+                acks: 0,
+                boc: seed.boc,
+            };
+            main.launch(ctx);
+            main
+        }
+    }
+
+    impl Chare for SyncMain {
+        fn entry(&mut self, ep: EpId, msg: MsgBody, ctx: &mut Ctx) {
+            debug_assert_eq!(ep, EP_ACK);
+            let round = cast::<u32>(msg);
+            debug_assert_eq!(round, self.current);
+            self.acks += 1;
+            if self.acks == ctx.npes() {
+                self.acks = 0;
+                self.current += 1;
+                if self.current == self.rounds {
+                    ctx.exit(self.current);
+                } else {
+                    self.launch(ctx);
+                }
+            }
+        }
+    }
+
+    pub struct SyncBranch;
+
+    impl BranchInit for SyncBranch {
+        type Cfg = ();
+        fn create(_cfg: (), _ctx: &mut Ctx) -> Self {
+            SyncBranch
+        }
+    }
+
+    impl Branch for SyncBranch {
+        fn entry(&mut self, ep: EpId, msg: MsgBody, ctx: &mut Ctx) {
+            debug_assert_eq!(ep, EP_ROUND);
+            let m = cast::<RoundMsg>(msg);
+            ctx.send(m.main, EP_ACK, m.round);
+        }
+    }
+}
+
+/// Figure 6: utilization over time (the mini-Projections view) for
+/// nqueens under random vs ACWN placement.
+pub fn fig6(scale: Scale) -> Table {
+    let npes = match scale {
+        Scale::Quick => 16,
+        Scale::Full => 64,
+    };
+    let params = match scale {
+        Scale::Quick => nqueens::QueensParams { n: 10, grain: 6 },
+        Scale::Full => nqueens::QueensParams { n: 12, grain: 7 },
+    };
+    const BUCKETS: usize = 10;
+    let mut t = Table::new(
+        format!("Figure 6: PE utilization over time, nqueens on {npes} PEs (10 slices)"),
+        &["slice", "random mean%", "random max%", "acwn mean%", "acwn max%"],
+    );
+    let profile = |strategy: BalanceStrategy| {
+        let prog = nqueens::build(params, QueueingStrategy::Fifo, strategy);
+        let mut cfg = SimConfig::preset(npes, MachinePreset::NcubeLike);
+        cfg.trace = true;
+        let rep = prog.run_sim(cfg);
+        let sim = rep.sim.as_ref().expect("sim detail");
+        multicomputer::utilization_profile(
+            &sim.timeline,
+            npes,
+            rep.time_ns,
+            BUCKETS,
+        )
+    };
+    let rnd = profile(BalanceStrategy::Random);
+    let acwn = profile(BalanceStrategy::acwn());
+    for b in 0..BUCKETS {
+        let stats = |row: &Vec<f64>| {
+            let mean = row.iter().sum::<f64>() / row.len() as f64;
+            let max = row.iter().cloned().fold(0.0f64, f64::max);
+            (mean * 100.0, max * 100.0)
+        };
+        let (rm, rx) = stats(&rnd[b]);
+        let (am, ax) = stats(&acwn[b]);
+        t.row(vec![
+            format!("{}", b + 1),
+            format!("{rm:.0}"),
+            format!("{rx:.0}"),
+            format!("{am:.0}"),
+            format!("{ax:.0}"),
+        ]);
+    }
+    t.note("slices normalize each run to its own completion time");
+    t
+}
+
+/// Figure 7 (ablation): ACWN parameters — hop budget and contraction
+/// low-mark — on the fib tree.
+pub fn fig7(scale: Scale) -> Table {
+    let (npes, params) = match scale {
+        Scale::Quick => (16, fib::FibParams { n: 24, grain: 14 }),
+        Scale::Full => (64, fib::FibParams { n: 30, grain: 16 }),
+    };
+    let mut t = Table::new(
+        format!("Figure 7 (ablation): ACWN parameters, fib on {npes} PEs"),
+        &["max_hops", "low_mark", "sim ms", "speedup", "seeds fwd"],
+    );
+    let t1 = {
+        let prog = fib::build(params, QueueingStrategy::Fifo, BalanceStrategy::Local);
+        prog.run_sim_preset(1, MachinePreset::NcubeLike).time_ns
+    };
+    for max_hops in [1u32, 2, 4, 8] {
+        for low_mark in [1u32, 2, 4] {
+            let strat = BalanceStrategy::Acwn { max_hops, low_mark };
+            let prog = fib::build(params, QueueingStrategy::Fifo, strat);
+            let rep = prog.run_sim_preset(npes, MachinePreset::NcubeLike);
+            t.row(vec![
+                max_hops.to_string(),
+                low_mark.to_string(),
+                ms(rep.time_ns),
+                format!("{:.2}", t1 as f64 / rep.time_ns as f64),
+                rep.counter_total("seeds_forwarded").to_string(),
+            ]);
+        }
+    }
+    t.note("max_hops = forwarding budget per seed; low_mark = keep-local backlog threshold");
+    t
+}
+
+/// Figure 8 (ablation): message combining on the fine-grain tree
+/// workloads — one software alpha per destination per step instead of
+/// one per message.
+pub fn fig8(scale: Scale) -> Table {
+    let npes = match scale {
+        Scale::Quick => 16,
+        Scale::Full => 64,
+    };
+    let mut t = Table::new(
+        format!("Figure 8 (ablation): message combining ({npes}-PE simulated hypercube)"),
+        &["program", "combining", "sim ms", "packets", "avg B/pkt"],
+    );
+    for case in standard_suite(scale)
+        .into_iter()
+        .filter(|c| matches!(c.name, "primes" | "sort" | "fib" | "tsp"))
+    {
+        for combining in [false, true] {
+            // Rebuild the program with the combining flag via the
+            // strategy-parameterized constructor plus a builder knob:
+            // the AppCase builder closes over everything else.
+            let prog = (case.build)(case.queueing, case.balance.clone());
+            let prog = if combining {
+                prog.with_combining()
+            } else {
+                prog
+            };
+            let rep = prog.run_sim_preset(npes, MachinePreset::NcubeLike);
+            let sim = rep.sim.as_ref().expect("sim detail");
+            t.row(vec![
+                case.name.into(),
+                if combining { "on" } else { "off" }.into(),
+                ms(rep.time_ns),
+                sim.packets.to_string(),
+                format!("{:.0}", sim.bytes as f64 / sim.packets.max(1) as f64),
+            ]);
+        }
+    }
+    t.note("combining batches all remote messages a handler produces, per destination");
+    t.note("helps fine-grain scatter (primes); neutral for bulk (sort: big messages bypass batching); hurts speculative search (tsp: delayed bounds)");
+    t
+}
+
+/// Every experiment, in order.
+pub fn all(scale: Scale) -> Vec<Table> {
+    vec![
+        table1(scale),
+        table2(scale),
+        table3(scale),
+        table4(scale),
+        table5(scale),
+        table6(scale),
+        table7(scale),
+        table8(scale),
+        fig1(scale),
+        fig2(scale),
+        fig3(scale),
+        fig4(scale),
+        fig5(scale),
+        fig6(scale),
+        fig7(scale),
+        fig8(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_nine_apps() {
+        assert_eq!(standard_suite(Scale::Quick).len(), 9);
+    }
+
+    #[test]
+    fn table1_quick_runs() {
+        let t = table1(Scale::Quick);
+        assert_eq!(t.rows.len(), 9);
+        // Every app created at least its main chare.
+        for row in &t.rows {
+            let chares: u64 = row[1].parse().unwrap();
+            assert!(chares >= 1, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn table6_quick_ratios_sane() {
+        let t = table6(Scale::Quick);
+        for row in &t.rows {
+            let ratio: f64 = row[3].parse().unwrap();
+            assert!(ratio > 0.8 && ratio < 3.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn table7_and_8_have_one_row_per_app() {
+        assert_eq!(table7(Scale::Quick).rows.len(), 9);
+        assert_eq!(table8(Scale::Quick).rows.len(), 9);
+    }
+
+    #[test]
+    fn fig5_quick_tree_gain_grows_with_p() {
+        let t = fig5(Scale::Quick);
+        let gains: Vec<f64> = t
+            .rows
+            .iter()
+            .map(|r| r[3].trim_end_matches('x').parse().unwrap())
+            .collect();
+        assert!(gains.last().unwrap() > gains.first().unwrap());
+    }
+
+    #[test]
+    fn fig7_covers_the_parameter_grid() {
+        let t = fig7(Scale::Quick);
+        assert_eq!(t.rows.len(), 12); // 4 hop budgets x 3 low marks
+        for row in &t.rows {
+            let speedup: f64 = row[3].parse().unwrap();
+            assert!(speedup > 1.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn fig8_has_on_off_pairs() {
+        let t = fig8(Scale::Quick);
+        assert_eq!(t.rows.len(), 8); // 4 apps x on/off
+        for pair in t.rows.chunks(2) {
+            assert_eq!(pair[0][0], pair[1][0], "rows must pair per app");
+            assert_eq!(pair[0][1], "off");
+            assert_eq!(pair[1][1], "on");
+        }
+    }
+
+    #[test]
+    fn fig2_quick_has_sweet_spot() {
+        let t = fig2(Scale::Quick);
+        let speedups: Vec<f64> = t.rows.iter().map(|r| r[3].parse().unwrap()).collect();
+        let best = speedups.iter().cloned().fold(f64::MIN, f64::max);
+        // The best grain beats both extremes.
+        assert!(best >= speedups[0]);
+        assert!(best >= *speedups.last().unwrap());
+    }
+}

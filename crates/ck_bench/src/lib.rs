@@ -1,0 +1,16 @@
+//! # ck_bench — the experiment harness
+//!
+//! Regenerates every table and figure of the SC '91 evaluation (as
+//! reconstructed in `DESIGN.md` §4). The [`experiments`] module holds
+//! one function per table/figure, each returning a formatted [`Table`];
+//! the `tables` binary prints them, and the Criterion benches measure
+//! the real-parallel (thread backend) counterparts.
+//!
+//! All simulator experiments are deterministic: the same binary produces
+//! the same numbers on every run.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;
+pub use table::Table;

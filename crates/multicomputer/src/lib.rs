@@ -1,0 +1,62 @@
+//! # multicomputer — the machine substrate
+//!
+//! The SC '91 Chare Kernel ran on 1991 hardware: nonshared-memory
+//! multicomputers (NCUBE/2 hypercube, Intel iPSC/2) and shared-memory
+//! multiprocessors (Sequent Symmetry, Encore Multimax). This crate is the
+//! stand-in for that hardware layer. It provides:
+//!
+//! * [`Pe`] — processing-element identifiers, and [`topology`] — the
+//!   interconnect graphs of the machines the paper evaluated on
+//!   (hypercube, 2-D mesh, ring, fully connected, shared bus);
+//! * [`cost`] — a per-message network cost model
+//!   (`alpha + bytes * beta + hops * gamma`) with presets approximating
+//!   the paper's machines;
+//! * [`sim`] — a deterministic discrete-event simulator
+//!   ([`sim::SimMachine`]) that executes a message-driven node program on
+//!   `P` simulated PEs and reports simulated completion time, per-PE busy
+//!   time and message statistics. This is how we reproduce speedup curves
+//!   up to 256 PEs on a laptop;
+//! * [`thread`] — a real-parallel backend ([`thread::ThreadMachine`]) with
+//!   one OS thread per PE and channel-based message transport, standing in
+//!   for the shared-memory ports and used for wall-clock benchmarks.
+//!
+//! The runtime built on top (the `chare_kernel` crate) is written against
+//! the [`program::NodeProgram`] / [`program::NetCtx`] interface and runs
+//! unmodified on both backends — exactly the machine-independence claim of
+//! the paper.
+//!
+//! ## Execution model
+//!
+//! Each PE alternates between two operations driven by the machine:
+//!
+//! 1. [`program::NodeProgram::incoming`] — a packet
+//!    has arrived; the node files it into its internal queues (cheap, no
+//!    user code runs);
+//! 2. [`program::NodeProgram::step`] — the node picks
+//!    one queued message and executes its handler to completion. Handlers
+//!    may send packets and charge simulated compute time through the
+//!    [`program::NetCtx`] passed in.
+//!
+//! On the simulator, time advances per the cost model and the charges made
+//! by handlers; on the thread backend, real time is the cost and charges
+//! are ignored.
+
+pub mod cost;
+pub mod pe;
+pub mod program;
+pub mod sim;
+pub mod stats;
+pub mod thread;
+pub mod time;
+pub mod topology;
+pub mod trace;
+
+pub use cost::{CostModel, MachinePreset};
+pub use pe::Pe;
+pub use program::{FnFactory, NetCtx, NodeFactory, NodeProgram, Packet, Payload, StepKind};
+pub use sim::{SimConfig, SimMachine, SimReport};
+pub use stats::{imbalance, NodeStats, StatSummary};
+pub use thread::{ThreadConfig, ThreadMachine, ThreadReport};
+pub use time::{Cost, SimTime};
+pub use trace::{render_profile, utilization_profile, TraceSpan};
+pub use topology::Topology;

@@ -1,0 +1,80 @@
+//! Processing-element identifiers.
+
+use std::fmt;
+
+/// Identifier of a processing element (PE).
+///
+/// The Chare Kernel numbered PEs `0..P`; PE 0 conventionally hosts the
+/// main chare and acts as coordinator for collective operations (the
+/// paper's "host" role on the NCUBE and iPSC ports).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pe(pub u32);
+
+impl Pe {
+    /// The conventional coordinator PE.
+    pub const ZERO: Pe = Pe(0);
+
+    /// The PE number as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterate over all PEs of a machine with `npes` processors.
+    pub fn all(npes: usize) -> impl Iterator<Item = Pe> {
+        (0..npes as u32).map(Pe)
+    }
+}
+
+impl fmt::Debug for Pe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PE{}", self.0)
+    }
+}
+
+impl fmt::Display for Pe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<usize> for Pe {
+    fn from(i: usize) -> Self {
+        Pe(i as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for i in 0..100usize {
+            assert_eq!(Pe::from(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn all_enumerates_in_order() {
+        let pes: Vec<Pe> = Pe::all(4).collect();
+        assert_eq!(pes, vec![Pe(0), Pe(1), Pe(2), Pe(3)]);
+    }
+
+    #[test]
+    fn all_empty_machine() {
+        assert_eq!(Pe::all(0).count(), 0);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", Pe(7)), "7");
+        assert_eq!(format!("{:?}", Pe(7)), "PE7");
+    }
+
+    #[test]
+    fn ordering_matches_numbering() {
+        assert!(Pe(1) < Pe(2));
+        assert_eq!(Pe::ZERO, Pe(0));
+    }
+}

@@ -1,0 +1,181 @@
+//! The interface between a machine backend and the node program it hosts.
+//!
+//! A *node program* is the per-PE half of a message-driven runtime (in
+//! this repository: one Chare Kernel node). The machine owns the event
+//! loop — simulated or real — and drives every node through
+//! [`NodeProgram`]; node handlers talk back to the machine through
+//! [`NetCtx`]. Keeping this boundary small is what makes the kernel
+//! machine-independent, mirroring the paper's portable machine layer.
+
+use std::any::Any;
+
+use crate::pe::Pe;
+use crate::stats::NodeStats;
+use crate::time::Cost;
+
+/// What a scheduling step accomplished — drives how much dispatch
+/// overhead the simulator charges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepKind {
+    /// A user-level message was scheduled and executed (full envelope
+    /// handling, queue operations, handler dispatch).
+    User,
+    /// Only lightweight runtime control traffic was processed.
+    Control,
+}
+
+/// An owned, untyped message body.
+///
+/// Messages are always *moved* between PEs — never shared — which
+/// preserves nonshared-memory semantics even though both backends run in
+/// one address space.
+pub type Payload = Box<dyn Any + Send>;
+
+/// A message in flight between two PEs.
+pub struct Packet {
+    /// Sending PE.
+    pub from: Pe,
+    /// Declared size in bytes, used by the network cost model. In-process
+    /// payloads are not serialized, so senders declare the size the wire
+    /// representation would have.
+    pub bytes: u32,
+    /// The message body.
+    pub payload: Payload,
+}
+
+impl std::fmt::Debug for Packet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Packet")
+            .field("from", &self.from)
+            .field("bytes", &self.bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Machine services available to a node while it boots or executes a
+/// handler.
+///
+/// Implemented once per backend ([`crate::sim::SimMachine`] buffers sends
+/// and accounts simulated time; [`crate::thread::ThreadMachine`] pushes
+/// straight into channels and ignores charges).
+pub trait NetCtx {
+    /// The PE this node runs on.
+    fn me(&self) -> Pe;
+
+    /// Number of PEs in the machine.
+    fn num_pes(&self) -> usize;
+
+    /// Current time in nanoseconds — simulated on the simulator, real
+    /// elapsed time on the thread backend.
+    fn now_ns(&self) -> u64;
+
+    /// Send a message to `to` (which may be `me()`; local messages bypass
+    /// the network at a small fixed cost).
+    fn send(&mut self, to: Pe, bytes: u32, payload: Payload);
+
+    /// Charge simulated compute time to the currently executing handler.
+    /// No-op on the thread backend, where real work takes real time.
+    fn charge(&mut self, cost: Cost);
+
+    /// Request machine shutdown (the Chare Kernel's `CkExit`). In-flight
+    /// and queued messages may be discarded.
+    fn stop(&mut self);
+
+    /// Store the program's result where the caller of `run` can retrieve
+    /// it. Later deposits overwrite earlier ones.
+    fn deposit(&mut self, result: Payload);
+}
+
+/// The per-PE half of a message-driven runtime.
+///
+/// The machine calls [`boot`](NodeProgram::boot) once at startup, then
+/// alternates [`incoming`](NodeProgram::incoming) (packet arrived — file
+/// it, cheaply) and [`step`](NodeProgram::step) (pick one queued message
+/// and run its handler to completion). The split matters on the
+/// simulator: arrival and execution are separate timed events, so queueing
+/// delay is modeled faithfully.
+pub trait NodeProgram: Send {
+    /// Called once per node before any message is delivered. Startup
+    /// actions (creating the main chare, constructing branch-office
+    /// branches) happen here and may already send messages.
+    fn boot(&mut self, net: &mut dyn NetCtx);
+
+    /// A packet addressed to this PE has arrived. Must not execute user
+    /// handlers — only enqueue.
+    fn incoming(&mut self, pkt: Packet);
+
+    /// Execute one scheduling step (at most one user handler, plus any
+    /// pending runtime control work). Returns what ran, or `None` if
+    /// nothing was available.
+    fn step(&mut self, net: &mut dyn NetCtx) -> Option<StepKind>;
+
+    /// Whether a call to `step` would find runnable work.
+    fn has_work(&self) -> bool;
+
+    /// Number of queued runnable messages (for load sampling / figures).
+    fn backlog(&self) -> usize {
+        0
+    }
+
+    /// Counters to include in the machine's run report.
+    fn stats(&self) -> NodeStats {
+        NodeStats::default()
+    }
+}
+
+/// Builds one node program per PE.
+pub trait NodeFactory {
+    /// The node program type this factory builds.
+    type Node: NodeProgram;
+
+    /// Build the node for `pe` of a machine with `npes` PEs.
+    fn build(&self, pe: Pe, npes: usize) -> Self::Node;
+}
+
+/// A [`NodeFactory`] from a closure.
+pub struct FnFactory<F>(pub F);
+
+impl<N: NodeProgram, F: Fn(Pe, usize) -> N> NodeFactory for FnFactory<F> {
+    type Node = N;
+    fn build(&self, pe: Pe, npes: usize) -> N {
+        (self.0)(pe, npes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl NodeProgram for Dummy {
+        fn boot(&mut self, _net: &mut dyn NetCtx) {}
+        fn incoming(&mut self, _pkt: Packet) {}
+        fn step(&mut self, _net: &mut dyn NetCtx) -> Option<StepKind> {
+            None
+        }
+        fn has_work(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn fn_factory_builds_per_pe() {
+        let f = FnFactory(|_pe, _n| Dummy);
+        let node = f.build(Pe(3), 8);
+        assert!(!node.has_work());
+        assert_eq!(node.backlog(), 0);
+        assert!(node.stats().counters.is_empty());
+    }
+
+    #[test]
+    fn packet_debug_is_printable() {
+        let p = Packet {
+            from: Pe(1),
+            bytes: 64,
+            payload: Box::new(42u32),
+        };
+        let s = format!("{p:?}");
+        assert!(s.contains("PE1"));
+        assert!(s.contains("64"));
+    }
+}

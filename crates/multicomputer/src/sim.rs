@@ -1,0 +1,661 @@
+//! Deterministic discrete-event simulation of a nonshared-memory
+//! multicomputer.
+//!
+//! This is the substitute for the paper's NCUBE/2 and iPSC/2 testbeds: a
+//! sequential event-driven simulator that executes a [`NodeProgram`] on
+//! `P` simulated PEs, advancing a virtual clock according to the
+//! [`CostModel`] and the compute time handlers charge. Because the event
+//! order is a pure function of the configuration and the node programs'
+//! behavior, runs are exactly reproducible — the property the experiment
+//! tables rely on.
+//!
+//! ## Timing model
+//!
+//! * Executing a message costs `dispatch + charged` where `charged` is
+//!   whatever the handler accumulated through [`NetCtx::charge`]. A PE
+//!   executes one message at a time.
+//! * A message of `b` bytes from PE `s` to PE `d` at distance `h` departs
+//!   when the handler ends and the sender's network interface is free
+//!   (back-to-back sends serialize for `injection(b, h)` each), then
+//!   arrives `latency(b, h)` later. Messages between the same ordered PE
+//!   pair are never reordered.
+//! * On a shared-medium topology ([`Topology::Bus`]) all transfers
+//!   additionally serialize through one global bus: each message occupies
+//!   the bus for its injection time, modeling Sequent-style bus
+//!   contention.
+//!
+//! The simulation ends when a handler calls [`NetCtx::stop`], or when no
+//! events remain and no node has work (global quiescence — reported via
+//! [`SimReport::quiesced`]).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::cost::CostModel;
+use crate::pe::Pe;
+use crate::program::{NetCtx, NodeFactory, NodeProgram, Packet, Payload, StepKind};
+use crate::trace::TraceSpan;
+use crate::stats::NodeStats;
+use crate::time::{Cost, SimTime};
+use crate::topology::Topology;
+
+/// Configuration of a simulated machine.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of processing elements.
+    pub npes: usize,
+    /// Interconnect topology.
+    pub topology: Topology,
+    /// Network / dispatch cost model.
+    pub cost: CostModel,
+    /// If set, sample every PE's backlog at this simulated interval
+    /// (drives the load-evolution figures).
+    pub sample_interval: Option<Cost>,
+    /// Safety valve: abort after this many events (defaults to
+    /// `u64::MAX`).
+    pub max_events: u64,
+    /// Record one [`TraceSpan`] per executed step (for utilization
+    /// profiles — the mini-Projections view).
+    pub trace: bool,
+}
+
+impl SimConfig {
+    /// A machine with `npes` PEs, the given topology and cost model, no
+    /// sampling.
+    pub fn new(npes: usize, topology: Topology, cost: CostModel) -> Self {
+        assert!(npes > 0, "machine needs at least one PE");
+        SimConfig {
+            npes,
+            topology,
+            cost,
+            sample_interval: None,
+            max_events: u64::MAX,
+            trace: false,
+        }
+    }
+
+    /// Preset-based convenience constructor.
+    pub fn preset(npes: usize, preset: crate::cost::MachinePreset) -> Self {
+        SimConfig::new(npes, preset.topology(npes), preset.cost_model())
+    }
+
+    /// Enable backlog sampling at `interval`.
+    pub fn with_sampling(mut self, interval: Cost) -> Self {
+        assert!(interval > Cost::ZERO, "sampling interval must be positive");
+        self.sample_interval = Some(interval);
+        self
+    }
+
+    /// Enable execution-span tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+}
+
+/// Result of a simulated run.
+pub struct SimReport {
+    /// Simulated completion time.
+    pub end_time: SimTime,
+    /// The last payload a handler deposited, if any.
+    pub result: Option<Payload>,
+    /// Per-PE counters reported by the nodes.
+    pub node_stats: Vec<NodeStats>,
+    /// Per-PE busy time (dispatch + handler execution).
+    pub busy: Vec<Cost>,
+    /// Total packets delivered.
+    pub packets: u64,
+    /// Total bytes carried by delivered packets.
+    pub bytes: u64,
+    /// Total events processed (stable across identical runs —
+    /// the determinism tests compare this).
+    pub events: u64,
+    /// True if the run ended by global quiescence rather than an explicit
+    /// `stop`.
+    pub quiesced: bool,
+    /// Backlog samples `(time, per-PE backlog)` if sampling was enabled.
+    pub samples: Vec<(SimTime, Vec<usize>)>,
+    /// Execution spans, if tracing was enabled.
+    pub timeline: Vec<TraceSpan>,
+}
+
+impl SimReport {
+    /// Downcast the deposited result.
+    pub fn result_as<T: 'static>(&self) -> Option<&T> {
+        self.result.as_deref().and_then(|r| r.downcast_ref::<T>())
+    }
+
+    /// Take and downcast the deposited result.
+    pub fn take_result<T: 'static>(&mut self) -> Option<T> {
+        let r = self.result.take()?;
+        match r.downcast::<T>() {
+            Ok(b) => Some(*b),
+            Err(r) => {
+                self.result = Some(r);
+                None
+            }
+        }
+    }
+
+    /// Mean PE utilization: busy time / (P * end_time).
+    pub fn utilization(&self) -> f64 {
+        let span = self.end_time.as_nanos();
+        if span == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.busy.iter().map(|c| c.as_nanos()).sum();
+        busy as f64 / (span as f64 * self.busy.len() as f64)
+    }
+}
+
+enum EventKind {
+    Arrival { to: Pe, pkt: Packet },
+    Execute { pe: Pe },
+    Sample,
+}
+
+struct Event {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// `NetCtx` for one handler execution on the simulator: buffers sends,
+/// accumulates charged time.
+struct SimCtx {
+    me: Pe,
+    npes: usize,
+    now: SimTime,
+    charged: Cost,
+    outbox: Vec<(Pe, u32, Payload)>,
+    stop: bool,
+    deposit: Option<Payload>,
+}
+
+impl NetCtx for SimCtx {
+    fn me(&self) -> Pe {
+        self.me
+    }
+    fn num_pes(&self) -> usize {
+        self.npes
+    }
+    fn now_ns(&self) -> u64 {
+        self.now.as_nanos()
+    }
+    fn send(&mut self, to: Pe, bytes: u32, payload: Payload) {
+        assert!(to.index() < self.npes, "send to PE out of range");
+        self.outbox.push((to, bytes, payload));
+    }
+    fn charge(&mut self, cost: Cost) {
+        self.charged += cost;
+    }
+    fn stop(&mut self) {
+        self.stop = true;
+    }
+    fn deposit(&mut self, result: Payload) {
+        self.deposit = Some(result);
+    }
+}
+
+/// The discrete-event simulated machine.
+///
+/// Owns the nodes and the event queue; [`SimMachine::run`] drives the
+/// simulation to completion and returns a [`SimReport`].
+pub struct SimMachine<N: NodeProgram> {
+    cfg: SimConfig,
+    nodes: Vec<N>,
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    /// Earliest instant each PE is free to start the next handler.
+    busy_until: Vec<SimTime>,
+    /// Whether an Execute event is pending for each PE.
+    exec_scheduled: Vec<bool>,
+    /// Earliest instant each PE's network interface is free.
+    nic_free: Vec<SimTime>,
+    /// Earliest instant the shared bus is free (Bus topology only).
+    bus_free: SimTime,
+    busy: Vec<Cost>,
+    packets: u64,
+    bytes: u64,
+    events: u64,
+    result: Option<Payload>,
+    stopped: bool,
+    samples: Vec<(SimTime, Vec<usize>)>,
+    timeline: Vec<TraceSpan>,
+}
+
+impl<N: NodeProgram> SimMachine<N> {
+    /// Build the machine, constructing one node per PE from `factory`.
+    pub fn new<F: NodeFactory<Node = N>>(cfg: SimConfig, factory: &F) -> Self {
+        let npes = cfg.npes;
+        let nodes = Pe::all(npes).map(|pe| factory.build(pe, npes)).collect();
+        SimMachine {
+            cfg,
+            nodes,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            busy_until: vec![SimTime::ZERO; npes],
+            exec_scheduled: vec![false; npes],
+            nic_free: vec![SimTime::ZERO; npes],
+            bus_free: SimTime::ZERO,
+            busy: vec![Cost::ZERO; npes],
+            packets: 0,
+            bytes: 0,
+            events: 0,
+            result: None,
+            stopped: false,
+            samples: Vec::new(),
+            timeline: Vec::new(),
+        }
+    }
+
+    /// Convenience: build and run in one call.
+    pub fn run_factory<F: NodeFactory<Node = N>>(cfg: SimConfig, factory: &F) -> SimReport {
+        SimMachine::new(cfg, factory).run()
+    }
+
+    fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Event {
+            time: time.as_nanos(),
+            seq,
+            kind,
+        }));
+    }
+
+    fn schedule_exec(&mut self, pe: Pe, not_before: SimTime) {
+        if !self.exec_scheduled[pe.index()] && self.nodes[pe.index()].has_work() {
+            let at = not_before.max(self.busy_until[pe.index()]);
+            self.exec_scheduled[pe.index()] = true;
+            self.push(at, EventKind::Execute { pe });
+        }
+    }
+
+    /// Route a message: compute departure (NIC + bus serialization) and
+    /// arrival times, then schedule the arrival event.
+    fn route(&mut self, from: Pe, to: Pe, bytes: u32, payload: Payload, ready: SimTime) {
+        let hops = self.cfg.topology.distance(from, to, self.cfg.npes);
+        let inj = self.cfg.cost.injection(bytes, hops);
+        let mut depart = ready.max(self.nic_free[from.index()]);
+        if hops > 0 && self.cfg.topology.is_shared_medium() {
+            depart = depart.max(self.bus_free);
+            self.bus_free = depart + inj;
+        }
+        self.nic_free[from.index()] = depart + inj;
+        let arrive = depart + self.cfg.cost.latency(bytes, hops);
+        self.packets += 1;
+        self.bytes += bytes as u64;
+        self.push(
+            arrive,
+            EventKind::Arrival {
+                to,
+                pkt: Packet {
+                    from,
+                    bytes,
+                    payload,
+                },
+            },
+        );
+    }
+
+    /// Run the simulation to completion (explicit stop or global
+    /// quiescence) and report.
+    pub fn run(mut self) -> SimReport {
+        // Boot every node at t = 0. Boot-time sends depart at t = 0.
+        for pe in Pe::all(self.cfg.npes) {
+            let mut ctx = SimCtx {
+                me: pe,
+                npes: self.cfg.npes,
+                now: SimTime::ZERO,
+                charged: Cost::ZERO,
+                outbox: Vec::new(),
+                stop: false,
+                deposit: None,
+            };
+            self.nodes[pe.index()].boot(&mut ctx);
+            let end = SimTime::ZERO + ctx.charged;
+            self.busy_until[pe.index()] = end;
+            self.busy[pe.index()] += ctx.charged;
+            if ctx.stop {
+                self.stopped = true;
+            }
+            if let Some(r) = ctx.deposit {
+                self.result = Some(r);
+            }
+            for (to, bytes, payload) in ctx.outbox {
+                self.route(pe, to, bytes, payload, end);
+            }
+        }
+        for pe in Pe::all(self.cfg.npes) {
+            let at = self.busy_until[pe.index()];
+            self.schedule_exec(pe, at);
+        }
+        if let Some(iv) = self.cfg.sample_interval {
+            self.push(SimTime::ZERO + iv, EventKind::Sample);
+        }
+
+        let mut now = SimTime::ZERO;
+        while !self.stopped {
+            let Some(Reverse(ev)) = self.heap.pop() else {
+                break;
+            };
+            self.events += 1;
+            if self.events > self.cfg.max_events {
+                panic!(
+                    "simulation exceeded max_events = {} (runaway program?)",
+                    self.cfg.max_events
+                );
+            }
+            now = SimTime(ev.time);
+            match ev.kind {
+                EventKind::Arrival { to, pkt } => {
+                    self.nodes[to.index()].incoming(pkt);
+                    self.schedule_exec(to, now);
+                }
+                EventKind::Execute { pe } => {
+                    self.exec_scheduled[pe.index()] = false;
+                    let node = &mut self.nodes[pe.index()];
+                    if !node.has_work() {
+                        continue;
+                    }
+                    let mut ctx = SimCtx {
+                        me: pe,
+                        npes: self.cfg.npes,
+                        now,
+                        charged: Cost::ZERO,
+                        outbox: Vec::new(),
+                        stop: false,
+                        deposit: None,
+                    };
+                    let ran = node.step(&mut ctx);
+                    let cost = match ran {
+                        Some(StepKind::User) => self.cfg.cost.dispatch + ctx.charged,
+                        Some(StepKind::Control) => self.cfg.cost.ctl_dispatch + ctx.charged,
+                        None => ctx.charged,
+                    };
+                    let end = now + cost;
+                    if self.cfg.trace {
+                        if let Some(kind) = ran {
+                            self.timeline.push(TraceSpan {
+                                pe,
+                                start_ns: now.as_nanos(),
+                                end_ns: end.as_nanos(),
+                                kind,
+                            });
+                        }
+                    }
+                    self.busy_until[pe.index()] = end;
+                    self.busy[pe.index()] += cost;
+                    if let Some(r) = ctx.deposit {
+                        self.result = Some(r);
+                    }
+                    if ctx.stop {
+                        self.stopped = true;
+                        now = end;
+                    }
+                    for (to, bytes, payload) in ctx.outbox {
+                        self.route(pe, to, bytes, payload, end);
+                    }
+                    if !self.stopped {
+                        self.schedule_exec(pe, end);
+                    } else {
+                        break;
+                    }
+                }
+                EventKind::Sample => {
+                    let backlog: Vec<usize> = self.nodes.iter().map(|n| n.backlog()).collect();
+                    self.samples.push((now, backlog));
+                    // Only keep sampling while there are other events —
+                    // otherwise sampling alone would keep the sim alive.
+                    if !self.heap.is_empty() {
+                        let iv = self.cfg.sample_interval.expect("sampling enabled");
+                        self.push(now + iv, EventKind::Sample);
+                    }
+                }
+            }
+        }
+
+        let end_time = self
+            .busy_until
+            .iter()
+            .copied()
+            .fold(now, SimTime::max);
+        SimReport {
+            end_time,
+            result: self.result,
+            node_stats: self.nodes.iter().map(|n| n.stats()).collect(),
+            busy: self.busy,
+            packets: self.packets,
+            bytes: self.bytes,
+            events: self.events,
+            quiesced: !self.stopped,
+            samples: self.samples,
+            timeline: self.timeline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::MachinePreset;
+    use crate::program::FnFactory;
+    use std::collections::VecDeque;
+
+    /// Test node: relays a counter around the ring of PEs `laps` times,
+    /// then PE 0 deposits the hop count and stops.
+    struct Relay {
+        pe: Pe,
+        npes: usize,
+        queue: VecDeque<Packet>,
+        laps: u32,
+        work: Cost,
+        hops_seen: u64,
+    }
+
+    impl NodeProgram for Relay {
+        fn boot(&mut self, net: &mut dyn NetCtx) {
+            if self.pe == Pe::ZERO {
+                net.send(Pe::from(1 % self.npes), 8, Box::new(0u64));
+            }
+        }
+        fn incoming(&mut self, pkt: Packet) {
+            self.queue.push_back(pkt);
+        }
+        fn step(&mut self, net: &mut dyn NetCtx) -> Option<StepKind> {
+            let pkt = self.queue.pop_front()?;
+            let count = *pkt.payload.downcast::<u64>().unwrap();
+            self.hops_seen += 1;
+            net.charge(self.work);
+            let next = (self.pe.index() + 1) % self.npes;
+            if self.pe == Pe::ZERO && count + 1 >= (self.laps as u64) * self.npes as u64 {
+                net.deposit(Box::new(count + 1));
+                net.stop();
+            } else {
+                net.send(Pe::from(next), 8, Box::new(count + 1));
+            }
+            Some(StepKind::User)
+        }
+        fn has_work(&self) -> bool {
+            !self.queue.is_empty()
+        }
+        fn backlog(&self) -> usize {
+            self.queue.len()
+        }
+        fn stats(&self) -> NodeStats {
+            let mut s = NodeStats::new();
+            s.push("hops", self.hops_seen);
+            s
+        }
+    }
+
+    fn relay_factory(laps: u32, work: Cost) -> FnFactory<impl Fn(Pe, usize) -> Relay> {
+        FnFactory(move |pe, npes| Relay {
+            pe,
+            npes,
+            queue: VecDeque::new(),
+            laps,
+            work,
+            hops_seen: 0,
+        })
+    }
+
+    fn ring_cfg(npes: usize) -> SimConfig {
+        SimConfig::new(npes, Topology::Ring, MachinePreset::NcubeLike.cost_model())
+    }
+
+    #[test]
+    fn relay_completes_and_deposits() {
+        let mut rep = SimMachine::run_factory(ring_cfg(4), &relay_factory(3, Cost::micros(10)));
+        assert_eq!(rep.take_result::<u64>(), Some(12));
+        assert!(!rep.quiesced, "ended by explicit stop");
+    }
+
+    #[test]
+    fn simulated_time_accounts_for_latency_and_work() {
+        let npes = 4;
+        let laps = 2u32;
+        let work = Cost::micros(10);
+        let rep = SimMachine::run_factory(ring_cfg(npes), &relay_factory(laps, work));
+        let model = MachinePreset::NcubeLike.cost_model();
+        let hops = (laps as u64) * npes as u64; // messages processed
+        let per_hop = (model.latency(8, 1) + model.dispatch + work).as_nanos();
+        // Every handler executes after exactly one network hop; end time
+        // is hops * (latency + dispatch + work), give or take the final
+        // stop handler which sends nothing.
+        let expect = hops * per_hop;
+        let got = rep.end_time.as_nanos();
+        assert!(
+            got >= expect - per_hop && got <= expect + per_hop,
+            "expected about {expect}, got {got}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let r1 = SimMachine::run_factory(ring_cfg(8), &relay_factory(5, Cost::micros(3)));
+        let r2 = SimMachine::run_factory(ring_cfg(8), &relay_factory(5, Cost::micros(3)));
+        assert_eq!(r1.end_time, r2.end_time);
+        assert_eq!(r1.events, r2.events);
+        assert_eq!(r1.packets, r2.packets);
+        assert_eq!(r1.bytes, r2.bytes);
+    }
+
+    #[test]
+    fn node_stats_collected() {
+        let rep = SimMachine::run_factory(ring_cfg(4), &relay_factory(1, Cost::ZERO));
+        let total: u64 = rep
+            .node_stats
+            .iter()
+            .map(|s| s.get("hops").unwrap_or(0))
+            .sum();
+        assert_eq!(total, 4); // one handler execution per ring position
+    }
+
+    #[test]
+    fn busy_time_distributed_across_pes() {
+        let rep = SimMachine::run_factory(ring_cfg(4), &relay_factory(4, Cost::micros(50)));
+        for pe in 0..4 {
+            assert!(rep.busy[pe] > Cost::ZERO, "PE{pe} never worked");
+        }
+    }
+
+    /// A program that never sends anything quiesces immediately.
+    struct Inert;
+    impl NodeProgram for Inert {
+        fn boot(&mut self, _net: &mut dyn NetCtx) {}
+        fn incoming(&mut self, _pkt: Packet) {}
+        fn step(&mut self, _net: &mut dyn NetCtx) -> Option<StepKind> {
+            None
+        }
+        fn has_work(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn inert_program_quiesces_at_time_zero() {
+        let cfg = SimConfig::preset(4, MachinePreset::Ideal);
+        let rep = SimMachine::run_factory(cfg, &FnFactory(|_, _| Inert));
+        assert!(rep.quiesced);
+        assert_eq!(rep.end_time, SimTime::ZERO);
+        assert_eq!(rep.packets, 0);
+    }
+
+    #[test]
+    fn sampling_records_backlogs() {
+        let cfg = ring_cfg(4).with_sampling(Cost::micros(100));
+        let rep = SimMachine::run_factory(cfg, &relay_factory(10, Cost::micros(20)));
+        assert!(!rep.samples.is_empty());
+        for (_, backlog) in &rep.samples {
+            assert_eq!(backlog.len(), 4);
+        }
+    }
+
+    #[test]
+    fn bus_topology_serializes_transfers() {
+        // Same program, same costs; bus must not finish faster than the
+        // fully-connected network.
+        let model = MachinePreset::SharedBusLike.cost_model();
+        let bus = SimConfig::new(8, Topology::Bus, model);
+        let full = SimConfig::new(8, Topology::FullyConnected, model);
+        let f = relay_factory(6, Cost::micros(1));
+        let t_bus = SimMachine::run_factory(bus, &f).end_time;
+        let t_full = SimMachine::run_factory(full, &f).end_time;
+        assert!(t_bus >= t_full);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_events")]
+    fn runaway_program_hits_event_limit() {
+        let mut cfg = ring_cfg(2);
+        cfg.max_events = 100;
+        // Relay with enormous lap count never finishes within 100 events.
+        let _ = SimMachine::run_factory(cfg, &relay_factory(u32::MAX, Cost::ZERO));
+    }
+
+    #[test]
+    fn utilization_between_zero_and_one() {
+        let rep = SimMachine::run_factory(ring_cfg(4), &relay_factory(3, Cost::micros(10)));
+        let u = rep.utilization();
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn send_to_invalid_pe_panics() {
+        struct Bad;
+        impl NodeProgram for Bad {
+            fn boot(&mut self, net: &mut dyn NetCtx) {
+                net.send(Pe(99), 1, Box::new(()));
+            }
+            fn incoming(&mut self, _pkt: Packet) {}
+            fn step(&mut self, _net: &mut dyn NetCtx) -> Option<StepKind> {
+                None
+            }
+            fn has_work(&self) -> bool {
+                false
+            }
+        }
+        let cfg = SimConfig::preset(2, MachinePreset::Ideal);
+        let _ = SimMachine::run_factory(cfg, &FnFactory(|_, _| Bad));
+    }
+}

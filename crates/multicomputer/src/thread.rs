@@ -1,0 +1,340 @@
+//! Real-parallel backend: one OS thread per PE.
+//!
+//! This is the stand-in for the paper's shared-memory ports (Sequent
+//! Symmetry, Encore Multimax): every PE is an OS thread, message
+//! transport is a channel per PE, and wall-clock time is the metric. The
+//! same [`NodeProgram`] that runs on the simulator runs here unchanged —
+//! the machine-independence the paper demonstrates by porting one kernel
+//! across machines.
+//!
+//! Unlike the simulator, the thread machine cannot observe global
+//! quiescence for free; programs end by calling [`NetCtx::stop`] (the
+//! kernel's `CkExit`, possibly triggered by its quiescence-detection
+//! module). A watchdog deadline ([`ThreadConfig::watchdog`]) guards tests
+//! and benchmarks against programs that never stop.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::pe::Pe;
+use crate::program::{NetCtx, NodeFactory, NodeProgram, Packet, Payload};
+use crate::stats::NodeStats;
+use crate::time::Cost;
+
+/// Configuration of the thread-parallel machine.
+#[derive(Clone, Debug)]
+pub struct ThreadConfig {
+    /// Number of PEs (threads).
+    pub npes: usize,
+    /// Abort the run after this much wall time if the program has not
+    /// stopped itself.
+    pub watchdog: Duration,
+}
+
+impl ThreadConfig {
+    /// `npes` threads with a 60-second watchdog.
+    pub fn new(npes: usize) -> Self {
+        assert!(npes > 0, "machine needs at least one PE");
+        ThreadConfig {
+            npes,
+            watchdog: Duration::from_secs(60),
+        }
+    }
+
+    /// Override the watchdog deadline.
+    pub fn with_watchdog(mut self, watchdog: Duration) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+}
+
+/// Result of a thread-machine run.
+pub struct ThreadReport {
+    /// Wall-clock duration from launch to last thread exit.
+    pub wall: Duration,
+    /// The last payload a handler deposited, if any.
+    pub result: Option<Payload>,
+    /// Per-PE counters reported by the nodes.
+    pub node_stats: Vec<NodeStats>,
+    /// True if the watchdog fired before the program stopped.
+    pub timed_out: bool,
+}
+
+impl ThreadReport {
+    /// Downcast the deposited result.
+    pub fn result_as<T: 'static>(&self) -> Option<&T> {
+        self.result.as_deref().and_then(|r| r.downcast_ref::<T>())
+    }
+
+    /// Take and downcast the deposited result.
+    pub fn take_result<T: 'static>(&mut self) -> Option<T> {
+        let r = self.result.take()?;
+        match r.downcast::<T>() {
+            Ok(b) => Some(*b),
+            Err(r) => {
+                self.result = Some(r);
+                None
+            }
+        }
+    }
+}
+
+struct Shared {
+    stop: AtomicBool,
+    result: Mutex<Option<Payload>>,
+    start: Instant,
+}
+
+struct ThreadCtx {
+    me: Pe,
+    npes: usize,
+    senders: Arc<Vec<Sender<Packet>>>,
+    shared: Arc<Shared>,
+}
+
+impl NetCtx for ThreadCtx {
+    fn me(&self) -> Pe {
+        self.me
+    }
+    fn num_pes(&self) -> usize {
+        self.npes
+    }
+    fn now_ns(&self) -> u64 {
+        self.shared.start.elapsed().as_nanos() as u64
+    }
+    fn send(&mut self, to: Pe, bytes: u32, payload: Payload) {
+        assert!(to.index() < self.npes, "send to PE out of range");
+        let pkt = Packet {
+            from: self.me,
+            bytes,
+            payload,
+        };
+        // A send after shutdown has begun may find the receiver gone;
+        // that is benign (the machine is being torn down).
+        let _ = self.senders[to.index()].send(pkt);
+    }
+    fn charge(&mut self, _cost: Cost) {
+        // Real work takes real time on this backend.
+    }
+    fn stop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+    }
+    fn deposit(&mut self, result: Payload) {
+        *self.shared.result.lock() = Some(result);
+    }
+}
+
+/// How long an idle PE blocks waiting for a packet before re-checking the
+/// stop flag.
+const IDLE_POLL: Duration = Duration::from_micros(200);
+
+fn pe_loop<N: NodeProgram>(mut node: N, rx: Receiver<Packet>, mut ctx: ThreadCtx) -> NodeStats {
+    node.boot(&mut ctx);
+    loop {
+        if ctx.shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        // Drain arrivals first so priorities act on everything available.
+        while let Ok(pkt) = rx.try_recv() {
+            node.incoming(pkt);
+        }
+        if node.has_work() {
+            let _ = node.step(&mut ctx);
+        } else {
+            match rx.recv_timeout(IDLE_POLL) {
+                Ok(pkt) => node.incoming(pkt),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+    node.stats()
+}
+
+/// The thread-parallel machine.
+pub struct ThreadMachine;
+
+impl ThreadMachine {
+    /// Run `factory`'s node program on `cfg.npes` OS threads until a
+    /// handler calls [`NetCtx::stop`] or the watchdog fires.
+    pub fn run<F>(cfg: ThreadConfig, factory: &F) -> ThreadReport
+    where
+        F: NodeFactory,
+        F::Node: 'static,
+    {
+        let npes = cfg.npes;
+        let mut senders = Vec::with_capacity(npes);
+        let mut receivers = Vec::with_capacity(npes);
+        for _ in 0..npes {
+            let (tx, rx) = unbounded::<Packet>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            result: Mutex::new(None),
+            start: Instant::now(),
+        });
+
+        let mut handles = Vec::with_capacity(npes);
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let pe = Pe::from(i);
+            let node = factory.build(pe, npes);
+            let ctx = ThreadCtx {
+                me: pe,
+                npes,
+                senders: Arc::clone(&senders),
+                shared: Arc::clone(&shared),
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("pe-{i}"))
+                    .spawn(move || pe_loop(node, rx, ctx))
+                    .expect("spawn PE thread"),
+            );
+        }
+
+        // Watchdog: wait for stop, then join. The PE loops poll the flag
+        // at IDLE_POLL granularity.
+        let mut timed_out = false;
+        while !shared.stop.load(Ordering::Acquire) {
+            if shared.start.elapsed() > cfg.watchdog {
+                shared.stop.store(true, Ordering::Release);
+                timed_out = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        let node_stats: Vec<NodeStats> = handles
+            .into_iter()
+            .map(|h| h.join().expect("PE thread panicked"))
+            .collect();
+        let wall = shared.start.elapsed();
+        let result = shared.result.lock().take();
+        ThreadReport {
+            wall,
+            result,
+            node_stats,
+            timed_out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{FnFactory, StepKind};
+    use std::collections::VecDeque;
+
+    /// Token ring: passes a counter around all PEs `laps` times, then
+    /// PE 0 deposits and stops — same program as the simulator test,
+    /// proving backend-independence at this layer.
+    struct Relay {
+        pe: Pe,
+        npes: usize,
+        queue: VecDeque<Packet>,
+        laps: u32,
+        seen: u64,
+    }
+
+    impl NodeProgram for Relay {
+        fn boot(&mut self, net: &mut dyn NetCtx) {
+            if self.pe == Pe::ZERO {
+                net.send(Pe::from(1 % self.npes), 8, Box::new(0u64));
+            }
+        }
+        fn incoming(&mut self, pkt: Packet) {
+            self.queue.push_back(pkt);
+        }
+        fn step(&mut self, net: &mut dyn NetCtx) -> Option<StepKind> {
+            let pkt = self.queue.pop_front()?;
+            self.seen += 1;
+            let count = *pkt.payload.downcast::<u64>().unwrap();
+            if self.pe == Pe::ZERO && count + 1 >= (self.laps as u64) * self.npes as u64 {
+                net.deposit(Box::new(count + 1));
+                net.stop();
+            } else {
+                let next = (self.pe.index() + 1) % self.npes;
+                net.send(Pe::from(next), 8, Box::new(count + 1));
+            }
+            Some(StepKind::User)
+        }
+        fn has_work(&self) -> bool {
+            !self.queue.is_empty()
+        }
+        fn stats(&self) -> NodeStats {
+            let mut s = NodeStats::new();
+            s.push("seen", self.seen);
+            s
+        }
+    }
+
+    fn relay(laps: u32) -> FnFactory<impl Fn(Pe, usize) -> Relay> {
+        FnFactory(move |pe, npes| Relay {
+            pe,
+            npes,
+            queue: VecDeque::new(),
+            laps,
+            seen: 0,
+        })
+    }
+
+    #[test]
+    fn ring_completes_on_threads() {
+        let mut rep = ThreadMachine::run(ThreadConfig::new(4), &relay(3));
+        assert!(!rep.timed_out);
+        assert_eq!(rep.take_result::<u64>(), Some(12));
+    }
+
+    #[test]
+    fn single_pe_machine_works() {
+        let mut rep = ThreadMachine::run(ThreadConfig::new(1), &relay(5));
+        assert!(!rep.timed_out);
+        assert_eq!(rep.take_result::<u64>(), Some(5));
+    }
+
+    #[test]
+    fn stats_are_collected_per_pe() {
+        let rep = ThreadMachine::run(ThreadConfig::new(4), &relay(2));
+        assert_eq!(rep.node_stats.len(), 4);
+        let total: u64 = rep
+            .node_stats
+            .iter()
+            .map(|s| s.get("seen").unwrap_or(0))
+            .sum();
+        assert_eq!(total, 8); // one handler execution per hop: 2 laps * 4 PEs
+    }
+
+    #[test]
+    fn watchdog_fires_on_nonterminating_program() {
+        struct Forever;
+        impl NodeProgram for Forever {
+            fn boot(&mut self, _net: &mut dyn NetCtx) {}
+            fn incoming(&mut self, _pkt: Packet) {}
+            fn step(&mut self, _net: &mut dyn NetCtx) -> Option<StepKind> {
+                None
+            }
+            fn has_work(&self) -> bool {
+                false
+            }
+        }
+        let cfg = ThreadConfig::new(2).with_watchdog(Duration::from_millis(50));
+        let rep = ThreadMachine::run(cfg, &FnFactory(|_, _| Forever));
+        assert!(rep.timed_out);
+        assert!(rep.result.is_none());
+    }
+
+    #[test]
+    fn result_downcast_mismatch_is_none() {
+        let mut rep = ThreadMachine::run(ThreadConfig::new(2), &relay(1));
+        assert!(rep.result_as::<String>().is_none());
+        assert_eq!(rep.take_result::<String>(), None);
+        // The payload survives a failed take.
+        assert_eq!(rep.take_result::<u64>(), Some(2));
+    }
+}

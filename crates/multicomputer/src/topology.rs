@@ -1,0 +1,342 @@
+//! Interconnect topologies of the machines the paper evaluated on.
+//!
+//! The Chare Kernel's nonshared-memory ports ran on an NCUBE/2 (a binary
+//! hypercube), an Intel iPSC/2 (hypercube, often programmed as a mesh) and
+//! its shared-memory ports on bus-based multiprocessors (Sequent Symmetry,
+//! Encore Multimax). [`Topology`] captures the graphs we need for the
+//! network cost model: the number of hops between two PEs determines the
+//! per-message distance term, and the neighbor sets drive the ACWN load
+//! balancing strategy ("adaptive contracting within neighborhood"), which
+//! only ever forwards work to direct neighbors.
+//!
+//! All topologies are defined for any number of PEs: hypercubes round up
+//! to the enclosing cube and skip missing corners; meshes use the most
+//! square factorization of `P`.
+
+use crate::pe::Pe;
+
+/// An interconnect graph over `P` processing elements.
+///
+/// Distances are measured in link hops; a PE is at distance 0 from
+/// itself. For bus-like machines every pair of distinct PEs is one hop
+/// apart.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// Binary hypercube (NCUBE/2-like). PEs are cube corners; two PEs are
+    /// neighbors iff their indices differ in exactly one bit. If `P` is
+    /// not a power of two the cube is the smallest enclosing one and
+    /// missing corners are routed around dimension-by-dimension.
+    Hypercube,
+    /// 2-D mesh of `rows x cols` with X-Y (dimension-ordered) routing.
+    Mesh2D {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// Unidirectional-distance ring: neighbors are `i±1 mod P`, distance
+    /// is the shorter way around.
+    Ring,
+    /// Every PE is directly connected to every other (crossbar).
+    FullyConnected,
+    /// A single shared bus: all PEs one hop apart, but the bus serializes
+    /// transfers (the cost model may add contention for this topology).
+    Bus,
+}
+
+impl Topology {
+    /// A 2-D mesh with the most square factorization of `npes`.
+    pub fn square_mesh(npes: usize) -> Topology {
+        let (rows, cols) = squarest_factors(npes);
+        Topology::Mesh2D { rows, cols }
+    }
+
+    /// Number of hops a message from `a` to `b` traverses on a machine
+    /// with `npes` PEs.
+    ///
+    /// # Panics
+    /// Panics if `a` or `b` is out of range, or if a `Mesh2D`'s
+    /// `rows * cols < npes`.
+    pub fn distance(&self, a: Pe, b: Pe, npes: usize) -> u32 {
+        assert!(a.index() < npes && b.index() < npes, "PE out of range");
+        if a == b {
+            return 0;
+        }
+        match *self {
+            Topology::Hypercube => (a.0 ^ b.0).count_ones(),
+            Topology::Mesh2D { rows, cols } => {
+                assert!(rows * cols >= npes, "mesh smaller than machine");
+                let (ar, ac) = (a.index() / cols, a.index() % cols);
+                let (br, bc) = (b.index() / cols, b.index() % cols);
+                (ar.abs_diff(br) + ac.abs_diff(bc)) as u32
+            }
+            Topology::Ring => {
+                let d = a.index().abs_diff(b.index());
+                d.min(npes - d) as u32
+            }
+            Topology::FullyConnected | Topology::Bus => 1,
+        }
+    }
+
+    /// Direct neighbors of `pe` on a machine with `npes` PEs, in a
+    /// deterministic order.
+    ///
+    /// For `FullyConnected` and `Bus` this is every other PE; callers that
+    /// need a bounded neighborhood (e.g. ACWN) should prefer a sparse
+    /// topology.
+    pub fn neighbors(&self, pe: Pe, npes: usize) -> Vec<Pe> {
+        assert!(pe.index() < npes, "PE out of range");
+        match *self {
+            Topology::Hypercube => {
+                let dims = hypercube_dims(npes);
+                (0..dims)
+                    .map(|d| pe.0 ^ (1 << d))
+                    .filter(|&n| (n as usize) < npes)
+                    .map(Pe)
+                    .collect()
+            }
+            Topology::Mesh2D { rows, cols } => {
+                assert!(rows * cols >= npes, "mesh smaller than machine");
+                let (r, c) = (pe.index() / cols, pe.index() % cols);
+                let mut out = Vec::with_capacity(4);
+                if r > 0 {
+                    out.push((r - 1) * cols + c);
+                }
+                if r + 1 < rows {
+                    out.push((r + 1) * cols + c);
+                }
+                if c > 0 {
+                    out.push(r * cols + c - 1);
+                }
+                if c + 1 < cols {
+                    out.push(r * cols + c + 1);
+                }
+                out.into_iter().filter(|&i| i < npes).map(Pe::from).collect()
+            }
+            Topology::Ring => {
+                if npes <= 1 {
+                    vec![]
+                } else if npes == 2 {
+                    vec![Pe::from(1 - pe.index())]
+                } else {
+                    let prev = (pe.index() + npes - 1) % npes;
+                    let next = (pe.index() + 1) % npes;
+                    vec![Pe::from(prev), Pe::from(next)]
+                }
+            }
+            Topology::FullyConnected | Topology::Bus => {
+                Pe::all(npes).filter(|&p| p != pe).collect()
+            }
+        }
+    }
+
+    /// The maximum distance between any two PEs (network diameter).
+    pub fn diameter(&self, npes: usize) -> u32 {
+        if npes <= 1 {
+            return 0;
+        }
+        match *self {
+            Topology::Hypercube => hypercube_dims(npes),
+            Topology::Mesh2D { rows, cols } => {
+                assert!(rows * cols >= npes, "mesh smaller than machine");
+                // Conservative: full-mesh diameter (unused corners can
+                // only shrink it, never grow it).
+                (rows - 1 + cols - 1) as u32
+            }
+            Topology::Ring => (npes / 2) as u32,
+            Topology::FullyConnected | Topology::Bus => 1,
+        }
+    }
+
+    /// Whether the interconnect serializes all transfers through one
+    /// shared medium (the Sequent/Multimax bus).
+    pub fn is_shared_medium(&self) -> bool {
+        matches!(self, Topology::Bus)
+    }
+}
+
+/// Number of dimensions of the smallest hypercube containing `npes`
+/// corners.
+pub fn hypercube_dims(npes: usize) -> u32 {
+    if npes <= 1 {
+        0
+    } else {
+        (npes - 1).ilog2() + 1
+    }
+}
+
+/// Most square `(rows, cols)` factorization with `rows * cols >= n` and
+/// `rows <= cols`, preferring exact factorizations.
+pub fn squarest_factors(n: usize) -> (usize, usize) {
+    if n == 0 {
+        return (0, 0);
+    }
+    let mut best = (1, n);
+    let mut r = 1;
+    while r * r <= n {
+        if n.is_multiple_of(r) {
+            best = (r, n / r);
+        }
+        r += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_pairs(npes: usize) -> impl Iterator<Item = (Pe, Pe)> {
+        (0..npes).flat_map(move |a| (0..npes).map(move |b| (Pe::from(a), Pe::from(b))))
+    }
+
+    #[test]
+    fn hypercube_distance_is_hamming() {
+        let t = Topology::Hypercube;
+        assert_eq!(t.distance(Pe(0), Pe(7), 8), 3);
+        assert_eq!(t.distance(Pe(5), Pe(6), 8), 2);
+        assert_eq!(t.distance(Pe(3), Pe(3), 8), 0);
+    }
+
+    #[test]
+    fn hypercube_neighbors_differ_one_bit() {
+        let t = Topology::Hypercube;
+        for pe in Pe::all(16) {
+            for n in t.neighbors(pe, 16) {
+                assert_eq!((pe.0 ^ n.0).count_ones(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_non_power_of_two_skips_missing_corners() {
+        let t = Topology::Hypercube;
+        // 6 PEs live in an 8-corner cube; PE 3's cube neighbors are
+        // 2, 1, 7 but 7 doesn't exist.
+        let n = t.neighbors(Pe(3), 6);
+        assert_eq!(n, vec![Pe(2), Pe(1)]);
+    }
+
+    #[test]
+    fn mesh_distance_is_manhattan() {
+        let t = Topology::Mesh2D { rows: 4, cols: 4 };
+        assert_eq!(t.distance(Pe(0), Pe(15), 16), 6);
+        assert_eq!(t.distance(Pe(5), Pe(6), 16), 1);
+        assert_eq!(t.distance(Pe(1), Pe(13), 16), 3);
+    }
+
+    #[test]
+    fn mesh_corner_has_two_neighbors() {
+        let t = Topology::Mesh2D { rows: 3, cols: 3 };
+        assert_eq!(t.neighbors(Pe(0), 9).len(), 2);
+        assert_eq!(t.neighbors(Pe(4), 9).len(), 4); // center
+        assert_eq!(t.neighbors(Pe(1), 9).len(), 3); // edge
+    }
+
+    #[test]
+    fn ring_distance_wraps() {
+        let t = Topology::Ring;
+        assert_eq!(t.distance(Pe(0), Pe(7), 8), 1);
+        assert_eq!(t.distance(Pe(0), Pe(4), 8), 4);
+        assert_eq!(t.distance(Pe(1), Pe(6), 8), 3);
+    }
+
+    #[test]
+    fn ring_two_pes_single_neighbor() {
+        let t = Topology::Ring;
+        assert_eq!(t.neighbors(Pe(0), 2), vec![Pe(1)]);
+        assert_eq!(t.neighbors(Pe(1), 2), vec![Pe(0)]);
+    }
+
+    #[test]
+    fn full_and_bus_distance_one() {
+        for t in [Topology::FullyConnected, Topology::Bus] {
+            for (a, b) in all_pairs(5) {
+                let d = t.distance(a, b, 5);
+                assert_eq!(d, u32::from(a != b));
+            }
+        }
+    }
+
+    #[test]
+    fn distances_symmetric_on_all_topologies() {
+        for t in [
+            Topology::Hypercube,
+            Topology::Mesh2D { rows: 3, cols: 4 },
+            Topology::Ring,
+            Topology::FullyConnected,
+            Topology::Bus,
+        ] {
+            for (a, b) in all_pairs(12) {
+                assert_eq!(t.distance(a, b, 12), t.distance(b, a, 12), "{t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_are_at_distance_one() {
+        for t in [
+            Topology::Hypercube,
+            Topology::Mesh2D { rows: 3, cols: 4 },
+            Topology::Ring,
+            Topology::FullyConnected,
+        ] {
+            for pe in Pe::all(12) {
+                for n in t.neighbors(pe, 12) {
+                    assert_eq!(t.distance(pe, n, 12), 1, "{t:?} {pe:?}->{n:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_bounds_distances() {
+        for t in [
+            Topology::Hypercube,
+            Topology::Mesh2D { rows: 4, cols: 4 },
+            Topology::Ring,
+            Topology::FullyConnected,
+            Topology::Bus,
+        ] {
+            let d = t.diameter(16);
+            for (a, b) in all_pairs(16) {
+                assert!(t.distance(a, b, 16) <= d, "{t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_dims_examples() {
+        assert_eq!(hypercube_dims(1), 0);
+        assert_eq!(hypercube_dims(2), 1);
+        assert_eq!(hypercube_dims(8), 3);
+        assert_eq!(hypercube_dims(9), 4);
+        assert_eq!(hypercube_dims(256), 8);
+    }
+
+    #[test]
+    fn squarest_factors_examples() {
+        assert_eq!(squarest_factors(16), (4, 4));
+        assert_eq!(squarest_factors(12), (3, 4));
+        assert_eq!(squarest_factors(7), (1, 7));
+        assert_eq!(squarest_factors(1), (1, 1));
+    }
+
+    #[test]
+    fn square_mesh_covers_all_pes() {
+        for n in 1..40 {
+            let t = Topology::square_mesh(n);
+            if let Topology::Mesh2D { rows, cols } = t {
+                assert!(rows * cols >= n);
+            } else {
+                panic!("not a mesh");
+            }
+        }
+    }
+
+    #[test]
+    fn bus_is_shared_medium() {
+        assert!(Topology::Bus.is_shared_medium());
+        assert!(!Topology::Hypercube.is_shared_medium());
+    }
+}

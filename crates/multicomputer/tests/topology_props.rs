@@ -1,0 +1,135 @@
+//! Property-based tests of the interconnect topologies: metric axioms,
+//! neighbor consistency, diameter bounds — for arbitrary machine sizes.
+
+use multicomputer::{topology::hypercube_dims, Pe, Topology};
+use proptest::prelude::*;
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        Just(Topology::Hypercube),
+        Just(Topology::Ring),
+        Just(Topology::FullyConnected),
+        Just(Topology::Bus),
+        (1usize..8, 1usize..8).prop_map(|(r, c)| Topology::Mesh2D { rows: r, cols: c }),
+    ]
+}
+
+/// Machine size valid for the topology (meshes need rows*cols >= npes).
+fn valid_npes(topo: &Topology) -> impl Strategy<Value = usize> {
+    let max = match topo {
+        Topology::Mesh2D { rows, cols } => rows * cols,
+        _ => 48,
+    };
+    1..=max.max(1)
+}
+
+proptest! {
+    #[test]
+    fn distance_is_a_metric((topo, npes, a, b) in arb_topology()
+        .prop_flat_map(|t| (Just(t.clone()), valid_npes(&t)))
+        .prop_flat_map(|(t, n)| (Just(t), Just(n), 0..n, 0..n)))
+    {
+        let a = Pe::from(a);
+        let b = Pe::from(b);
+        let d_ab = topo.distance(a, b, npes);
+        let d_ba = topo.distance(b, a, npes);
+        // Symmetry.
+        prop_assert_eq!(d_ab, d_ba);
+        // Identity of indiscernibles.
+        prop_assert_eq!(d_ab == 0, a == b);
+    }
+
+    #[test]
+    fn triangle_inequality((topo, npes, a, b, c) in arb_topology()
+        .prop_flat_map(|t| (Just(t.clone()), valid_npes(&t)))
+        .prop_flat_map(|(t, n)| (Just(t), Just(n), 0..n, 0..n, 0..n)))
+    {
+        let (a, b, c) = (Pe::from(a), Pe::from(b), Pe::from(c));
+        // Mesh/ring/hypercube/full/bus distances are all graph metrics.
+        prop_assert!(
+            topo.distance(a, c, npes)
+                <= topo.distance(a, b, npes) + topo.distance(b, c, npes)
+        );
+    }
+
+    #[test]
+    fn neighbors_are_mutual((topo, npes, a) in arb_topology()
+        .prop_flat_map(|t| (Just(t.clone()), valid_npes(&t)))
+        .prop_flat_map(|(t, n)| (Just(t), Just(n), 0..n)))
+    {
+        let a = Pe::from(a);
+        for n in topo.neighbors(a, npes) {
+            let back = topo.neighbors(n, npes);
+            prop_assert!(back.contains(&a), "{a:?} -> {n:?} not mutual");
+        }
+    }
+
+    #[test]
+    fn neighbors_unique_and_exclude_self((topo, npes, a) in arb_topology()
+        .prop_flat_map(|t| (Just(t.clone()), valid_npes(&t)))
+        .prop_flat_map(|(t, n)| (Just(t), Just(n), 0..n)))
+    {
+        let a = Pe::from(a);
+        let ns = topo.neighbors(a, npes);
+        let set: std::collections::HashSet<_> = ns.iter().collect();
+        prop_assert_eq!(set.len(), ns.len(), "duplicate neighbors");
+        prop_assert!(!ns.contains(&a), "self-neighbor");
+    }
+
+    #[test]
+    fn diameter_bounds_all_distances((topo, npes) in arb_topology()
+        .prop_flat_map(|t| (Just(t.clone()), valid_npes(&t))))
+    {
+        let d = topo.diameter(npes);
+        for a in Pe::all(npes) {
+            for b in Pe::all(npes) {
+                prop_assert!(topo.distance(a, b, npes) <= d);
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_connected_via_neighbor_walk(npes in 1usize..40) {
+        // BFS from PE 0 over neighbor sets must reach every PE even for
+        // non-power-of-two machines.
+        let topo = Topology::Hypercube;
+        let mut seen = vec![false; npes];
+        let mut stack = vec![Pe::ZERO];
+        seen[0] = true;
+        while let Some(pe) = stack.pop() {
+            for n in topo.neighbors(pe, npes) {
+                if !seen[n.index()] {
+                    seen[n.index()] = true;
+                    stack.push(n);
+                }
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s), "hypercube disconnected");
+    }
+
+    #[test]
+    fn hypercube_dims_is_minimal(npes in 1usize..1000) {
+        let d = hypercube_dims(npes);
+        prop_assert!((1usize << d) >= npes);
+        if d > 0 {
+            prop_assert!((1usize << (d - 1)) < npes);
+        }
+    }
+
+    #[test]
+    fn square_mesh_is_connected_and_covers(npes in 1usize..40) {
+        let topo = Topology::square_mesh(npes);
+        let mut seen = vec![false; npes];
+        let mut stack = vec![Pe::ZERO];
+        seen[0] = true;
+        while let Some(pe) = stack.pop() {
+            for n in topo.neighbors(pe, npes) {
+                if !seen[n.index()] {
+                    seen[n.index()] = true;
+                    stack.push(n);
+                }
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s), "mesh disconnected");
+    }
+}

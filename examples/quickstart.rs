@@ -1,0 +1,139 @@
+//! Quickstart: the smallest complete Chare Kernel program.
+//!
+//! A main chare scatters one worker chare per PE; each worker squares
+//! its input, contributes to an accumulator, and reports back; the main
+//! chare exits with the sum of squares. Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use charm_repro::prelude::*;
+
+/// Entry point on the main chare: a worker finished.
+const EP_DONE: EpId = EpId(1);
+/// Entry point on the main chare: the collected total.
+const EP_TOTAL: EpId = EpId(2);
+
+/// Seed of the main chare.
+#[derive(Clone)]
+struct MainSeed {
+    count: u32,
+    worker: Kind<Worker>,
+    acc: Acc<SumU64>,
+}
+message!(MainSeed);
+
+/// Seed of a worker chare.
+#[derive(Clone, Copy)]
+struct WorkerSeed {
+    value: u64,
+    parent: ChareId,
+    acc: Acc<SumU64>,
+}
+message!(WorkerSeed);
+
+struct Main {
+    acc: Acc<SumU64>,
+    waiting: u32,
+}
+
+impl ChareInit for Main {
+    type Seed = MainSeed;
+    fn create(seed: MainSeed, ctx: &mut Ctx) -> Self {
+        let me = ctx.self_id();
+        println!(
+            "main chare up on PE {} of {}; scattering {} workers",
+            ctx.pe(),
+            ctx.npes(),
+            seed.count
+        );
+        for i in 0..seed.count {
+            // No placement given: the load balancing strategy decides
+            // which PE constructs each worker.
+            ctx.create(
+                seed.worker,
+                WorkerSeed {
+                    value: (i + 1) as u64,
+                    parent: me,
+                    acc: seed.acc,
+                },
+            );
+        }
+        Main {
+            acc: seed.acc,
+            waiting: seed.count,
+        }
+    }
+}
+
+impl Chare for Main {
+    fn entry(&mut self, ep: EpId, msg: MsgBody, ctx: &mut Ctx) {
+        match ep {
+            EP_DONE => {
+                let pe = cast::<u32>(msg);
+                self.waiting -= 1;
+                println!("worker done on PE {pe} ({} left)", self.waiting);
+                if self.waiting == 0 {
+                    let me = ctx.self_id();
+                    ctx.acc_collect(self.acc, Notify::Chare(me, EP_TOTAL));
+                }
+            }
+            EP_TOTAL => {
+                let total = cast::<AccResult<u64>>(msg);
+                ctx.exit(total.value);
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+struct Worker;
+
+impl ChareInit for Worker {
+    type Seed = WorkerSeed;
+    fn create(seed: WorkerSeed, ctx: &mut Ctx) -> Self {
+        // PE-local accumulation: no communication here.
+        ctx.acc_add(seed.acc, seed.value * seed.value);
+        ctx.send(seed.parent, EP_DONE, ctx.pe().0);
+        ctx.destroy_self();
+        Worker
+    }
+}
+
+impl Chare for Worker {
+    fn entry(&mut self, _ep: EpId, _msg: MsgBody, _ctx: &mut Ctx) {
+        unreachable!("workers receive no messages")
+    }
+}
+
+fn main() {
+    let count = 12u32;
+
+    let mut b = ProgramBuilder::new();
+    let worker = b.chare::<Worker>();
+    let main = b.chare::<Main>();
+    let acc = b.accumulator::<SumU64>();
+    b.balance(BalanceStrategy::Random);
+    b.main(main, MainSeed { count, worker, acc });
+    let program = b.build();
+
+    // Same program, two machines.
+    let mut sim = program.run_sim_preset(8, MachinePreset::NcubeLike);
+    println!(
+        "simulated 8-PE NCUBE-like machine: result = {:?} in {:.3} simulated ms",
+        sim.take_result::<u64>().unwrap(),
+        sim.time_ns as f64 / 1e6
+    );
+
+    let mut real = program.run_threads(4);
+    println!(
+        "4 real threads: result = {:?} in {:.3} wall ms",
+        real.take_result::<u64>().unwrap(),
+        real.time_ns as f64 / 1e6
+    );
+
+    let expect: u64 = (1..=count as u64).map(|v| v * v).sum();
+    assert_eq!(expect, 650);
+    println!("expected sum of squares: {expect}");
+}

@@ -1,0 +1,29 @@
+//! # charm-repro — reproduction of the SC '91 Chare Kernel paper
+//!
+//! Umbrella crate tying together the three layers of this repository:
+//!
+//! * [`multicomputer`] — the machine substrate (simulated NCUBE/iPSC-style
+//!   multicomputers and a real thread-parallel backend);
+//! * [`chare_kernel`] — the paper's contribution: a message-driven
+//!   object-oriented parallel runtime with chares, branch-office chares,
+//!   specifically shared variables, dynamic load balancing, prioritized
+//!   queueing and quiescence detection;
+//! * [`ck_apps`] — the benchmark applications the paper's evaluation uses
+//!   (fib, N-queens, TSP branch & bound, 15-puzzle IDA*, Jacobi
+//!   relaxation, primes) plus sequential and hand-coded message-passing
+//!   baselines.
+//!
+//! See `examples/` for runnable programs and `DESIGN.md` / `EXPERIMENTS.md`
+//! for the experiment index.
+
+pub use chare_kernel;
+pub use ck_apps;
+pub use multicomputer;
+
+/// Convenient glob-import surface for examples and integration tests.
+pub mod prelude {
+    pub use chare_kernel::prelude::*;
+    pub use multicomputer::{
+        Cost, MachinePreset, Pe, SimConfig, SimTime, ThreadConfig, Topology,
+    };
+}

@@ -1,0 +1,97 @@
+//! Machine independence: every benchmark produces the same answer on
+//! the discrete-event simulator and the real thread backend — the
+//! paper's core portability claim, exercised end-to-end.
+
+use charm_repro::ck_apps::{fib, jacobi, nqueens, primes, puzzle, tsp};
+use charm_repro::prelude::*;
+
+#[test]
+fn fib_agrees_across_backends() {
+    let prog = fib::build_default(fib::FibParams { n: 19, grain: 12 });
+    let mut sim = prog.run_sim_preset(4, MachinePreset::NcubeLike);
+    let mut thr = prog.run_threads(3);
+    assert!(!thr.timed_out);
+    assert_eq!(sim.take_result::<u64>(), thr.take_result::<u64>());
+}
+
+#[test]
+fn nqueens_agrees_across_backends() {
+    let prog = nqueens::build_default(nqueens::QueensParams { n: 9, grain: 5 });
+    let mut sim = prog.run_sim_preset(5, MachinePreset::IpscLike);
+    let mut thr = prog.run_threads(2);
+    assert!(!thr.timed_out);
+    assert_eq!(sim.take_result::<u64>(), thr.take_result::<u64>());
+    assert!(thr.result.is_none(), "result already taken");
+}
+
+#[test]
+fn tsp_agrees_across_backends() {
+    let prog = tsp::build_default(tsp::TspParams {
+        n: 10,
+        seed: 9,
+        seq_tail: 5,
+    });
+    let mut sim = prog.run_sim_preset(4, MachinePreset::NcubeLike);
+    let mut thr = prog.run_threads(4);
+    assert!(!thr.timed_out);
+    let a = sim.take_result::<tsp::TspResult>().unwrap();
+    let b = thr.take_result::<tsp::TspResult>().unwrap();
+    // Optimal cost is schedule-independent; node counts are not.
+    assert_eq!(a.best, b.best);
+}
+
+#[test]
+fn puzzle_agrees_across_backends() {
+    let prog = puzzle::build_default(puzzle::PuzzleParams {
+        scramble: 18,
+        seed: 11,
+        split_depth: 3,
+    });
+    let mut sim = prog.run_sim_preset(4, MachinePreset::NcubeLike);
+    let mut thr = prog.run_threads(2);
+    assert!(!thr.timed_out);
+    assert_eq!(
+        sim.take_result::<puzzle::PuzzleResult>().unwrap().cost,
+        thr.take_result::<puzzle::PuzzleResult>().unwrap().cost
+    );
+}
+
+#[test]
+fn jacobi_agrees_across_backends() {
+    let params = jacobi::JacobiParams { n: 20, iters: 9 };
+    let prog = jacobi::build_default(params);
+    let mut sim = prog.run_sim_preset(3, MachinePreset::NcubeLike);
+    let mut thr = prog.run_threads(3);
+    assert!(!thr.timed_out);
+    let a = sim.take_result::<f64>().unwrap();
+    let b = thr.take_result::<f64>().unwrap();
+    // Same partitioning (3 blocks), same summation structure per block;
+    // the cross-block accumulator combine order may differ.
+    assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+}
+
+#[test]
+fn primes_agrees_across_backends() {
+    let prog = primes::build_default(primes::PrimesParams {
+        limit: 8_000,
+        chunks: 12,
+    });
+    let mut sim = prog.run_sim_preset(4, MachinePreset::SharedBusLike);
+    let mut thr = prog.run_threads(4);
+    assert!(!thr.timed_out);
+    assert_eq!(sim.take_result::<u64>(), thr.take_result::<u64>());
+}
+
+#[test]
+fn oversubscribed_thread_machine_works() {
+    // 16 PE threads on however few cores this host has: correctness
+    // must not depend on real parallelism.
+    let prog = nqueens::build(
+        nqueens::QueensParams { n: 8, grain: 4 },
+        QueueingStrategy::IntPriority,
+        BalanceStrategy::TokenIdle,
+    );
+    let mut rep = prog.run_threads(16);
+    assert!(!rep.timed_out);
+    assert_eq!(rep.take_result::<u64>(), Some(92));
+}

@@ -1,0 +1,132 @@
+//! Cross-crate correctness matrix: every application × every strategy ×
+//! several machine sizes must produce the sequential answer.
+
+use charm_repro::ck_apps::{fib, jacobi, nqueens, primes, puzzle, tsp};
+use charm_repro::prelude::*;
+
+const BALANCES: [BalanceStrategy; 5] = [
+    BalanceStrategy::Local,
+    BalanceStrategy::Random,
+    BalanceStrategy::CentralManager,
+    BalanceStrategy::TokenIdle,
+    BalanceStrategy::Acwn {
+        max_hops: 4,
+        low_mark: 2,
+    },
+];
+
+#[test]
+fn fib_matrix() {
+    let params = fib::FibParams { n: 17, grain: 9 };
+    let want = fib::fib_seq(17);
+    for balance in &BALANCES {
+        for q in QueueingStrategy::ALL {
+            for npes in [1usize, 3, 8] {
+                let prog = fib::build(params, q, balance.clone());
+                let mut rep = prog.run_sim_preset(npes, MachinePreset::NcubeLike);
+                assert_eq!(
+                    rep.take_result::<u64>(),
+                    Some(want),
+                    "fib {balance:?} {q:?} npes={npes}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn nqueens_matrix() {
+    let params = nqueens::QueensParams { n: 8, grain: 4 };
+    for balance in &BALANCES {
+        for npes in [1usize, 5, 16] {
+            let prog = nqueens::build(params, QueueingStrategy::Lifo, balance.clone());
+            let mut rep = prog.run_sim_preset(npes, MachinePreset::IpscLike);
+            assert_eq!(
+                rep.take_result::<u64>(),
+                Some(92),
+                "nqueens {balance:?} npes={npes}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tsp_matrix() {
+    let params = tsp::TspParams {
+        n: 9,
+        seed: 3,
+        seq_tail: 5,
+    };
+    let inst = tsp::TspInstance::random(9, 3);
+    let (want, _) = tsp::tsp_seq(&inst);
+    for balance in &BALANCES {
+        for q in QueueingStrategy::ALL {
+            let prog = tsp::build(params, q, balance.clone());
+            let mut rep = prog.run_sim_preset(6, MachinePreset::NcubeLike);
+            let got = rep.take_result::<tsp::TspResult>().expect("result");
+            assert_eq!(got.best, want, "tsp {balance:?} {q:?}");
+        }
+    }
+}
+
+#[test]
+fn puzzle_matrix() {
+    let params = puzzle::PuzzleParams {
+        scramble: 16,
+        seed: 2,
+        split_depth: 3,
+    };
+    let (want, _) = puzzle::ida_seq(puzzle::scramble(16, 2));
+    for balance in &BALANCES {
+        let prog = puzzle::build(params, QueueingStrategy::IntPriority, balance.clone());
+        let mut rep = prog.run_sim_preset(5, MachinePreset::NcubeLike);
+        let got = rep.take_result::<puzzle::PuzzleResult>().expect("result");
+        assert_eq!(got.cost, want, "puzzle {balance:?}");
+    }
+}
+
+#[test]
+fn jacobi_matrix() {
+    let params = jacobi::JacobiParams { n: 16, iters: 7 };
+    let want = jacobi::jacobi_seq(params);
+    for npes in [1usize, 2, 4, 7, 16, 20] {
+        let prog = jacobi::build_default(params);
+        let mut rep = prog.run_sim_preset(npes, MachinePreset::SharedBusLike);
+        let got = rep.take_result::<f64>().expect("checksum");
+        assert!(
+            (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+            "jacobi npes={npes}: {got} vs {want}"
+        );
+    }
+}
+
+#[test]
+fn primes_matrix() {
+    let want = primes::primes_seq(3_000);
+    for balance in &BALANCES {
+        let prog = primes::build(
+            primes::PrimesParams {
+                limit: 3_000,
+                chunks: 10,
+            },
+            QueueingStrategy::Fifo,
+            balance.clone(),
+        );
+        let mut rep = prog.run_sim_preset(4, MachinePreset::NcubeLike);
+        assert_eq!(rep.take_result::<u64>(), Some(want), "primes {balance:?}");
+    }
+}
+
+#[test]
+fn every_app_runs_on_every_preset() {
+    for preset in [
+        MachinePreset::NcubeLike,
+        MachinePreset::IpscLike,
+        MachinePreset::SharedBusLike,
+        MachinePreset::Ideal,
+    ] {
+        let prog = fib::build_default(fib::FibParams { n: 14, grain: 8 });
+        let mut rep = prog.run_sim_preset(4, preset);
+        assert_eq!(rep.take_result::<u64>(), Some(fib::fib_seq(14)), "{preset:?}");
+    }
+}

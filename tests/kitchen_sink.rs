@@ -1,0 +1,302 @@
+//! The everything-at-once regression: one program that simultaneously
+//! uses dynamic chares with bitvector priorities, a branch-office chare,
+//! every specifically shared variable, spanning-tree broadcasts, message
+//! combining, load balancing and two quiescence-detection sessions —
+//! then checks every result against closed-form expectations.
+//!
+//! Pipeline:
+//!   1. main write-onces a lookup table of squares;
+//!   2. on readiness, broadcasts a start to a per-PE BOC whose branches
+//!      each `table_put` their PE id and create one prioritized worker
+//!      chare per PE;
+//!   3. workers read the read-only config and the write-once squares,
+//!      `acc_add` their contribution, `mono_update` a global minimum,
+//!      and `table_get` a neighbor's entry to verify routing;
+//!   4. quiescence; main collects the accumulator, checks the monotonic
+//!      minimum, then runs a second wave (delete table entries with
+//!      acks) and a second quiescence before exiting.
+
+use charm_repro::prelude::*;
+
+const EP_START: EpId = EpId(1);
+const EP_GOT: EpId = EpId(2);
+const EP_WO_READY: EpId = EpId(3);
+const EP_QD1: EpId = EpId(4);
+const EP_ACC: EpId = EpId(5);
+const EP_DEL_ACK: EpId = EpId(6);
+const EP_QD2: EpId = EpId(7);
+
+#[derive(Clone)]
+struct Cfg {
+    worker: Kind<Worker>,
+    acc: Acc<SumU64>,
+    best: MonoVar<MinBoundU64>,
+    table: TableRef<u64>,
+    ro: ReadOnly<Vec<u64>>,
+}
+message!(Cfg);
+
+#[derive(Clone)]
+struct MainSeed {
+    cfg: Cfg,
+    boc: Boc<Spawner>,
+}
+message!(MainSeed);
+
+#[derive(Clone)]
+struct StartMsg {
+    cfg: Cfg,
+    squares: WoId,
+    main: ChareId,
+}
+message!(StartMsg);
+
+#[derive(Clone)]
+struct WorkerSeed {
+    cfg: Cfg,
+    squares: WoId,
+    home_pe: u32,
+}
+message!(WorkerSeed);
+
+/// Per-PE branch: registers itself in the distributed table and spawns
+/// one worker with a depth-based bitvector priority.
+struct Spawner;
+
+impl BranchInit for Spawner {
+    type Cfg = ();
+    fn create(_cfg: (), _ctx: &mut Ctx) -> Self {
+        Spawner
+    }
+}
+
+impl Branch for Spawner {
+    fn entry(&mut self, ep: EpId, msg: MsgBody, ctx: &mut Ctx) {
+        assert_eq!(ep, EP_START);
+        let start = cast::<StartMsg>(msg);
+        let pe = ctx.pe().0;
+        // Table entry: pe -> pe * 10.
+        ctx.table_put(start.cfg.table, pe as u64, (pe as u64) * 10, None);
+        let prio = BitPrio::root().child(pe % 8, 3);
+        let _ = start.main; // spare handle kept in the start message
+        ctx.create_prio(
+            start.cfg.worker,
+            WorkerSeed {
+                cfg: start.cfg.clone(),
+                squares: start.squares,
+                home_pe: pe,
+            },
+            Priority::Bits(prio),
+        );
+    }
+}
+
+/// The roaming worker: exercises every read path and contributes to
+/// every reduction.
+struct Worker {
+    cfg: Cfg,
+    home_pe: u32,
+}
+
+impl ChareInit for Worker {
+    type Seed = WorkerSeed;
+    fn create(seed: WorkerSeed, ctx: &mut Ctx) -> Self {
+        let squares = ctx.wo_get::<Vec<u64>>(seed.squares);
+        let ro = ctx.read_only(seed.cfg.ro);
+        let pe = seed.home_pe as u64;
+        // Contribution: square of the home PE id plus the read-only
+        // offset — both checkable in closed form.
+        ctx.acc_add(seed.cfg.acc, squares[seed.home_pe as usize] + ro[0]);
+        ctx.mono_update(seed.cfg.best, 1000 - pe);
+        // Look up a neighbor's table entry; the reply proves routing.
+        let neighbor = (pe + 1) % ctx.npes() as u64;
+        let me = ctx.self_id();
+        ctx.table_get(seed.cfg.table, neighbor, Notify::Chare(me, EP_GOT));
+        Worker {
+            cfg: seed.cfg,
+            home_pe: seed.home_pe,
+        }
+    }
+}
+
+impl Chare for Worker {
+    fn entry(&mut self, ep: EpId, msg: MsgBody, ctx: &mut Ctx) {
+        assert_eq!(ep, EP_GOT);
+        let got = cast::<TableGot<u64>>(msg);
+        // The neighbor's put raced ours only through the table's own
+        // serialization; by QD time it must exist — but this reply can
+        // arrive before the neighbor's put. Both present and absent are
+        // legal here; presence must carry the right value.
+        if let Some(v) = got.value {
+            assert_eq!(v, got.key * 10, "corrupted table entry");
+        }
+        let _ = self.home_pe;
+        let _ = &self.cfg;
+        ctx.destroy_self();
+    }
+}
+
+struct Main {
+    cfg: Cfg,
+    boc: Boc<Spawner>,
+    squares: Option<WoId>,
+    phase: u32,
+    acks: usize,
+}
+
+impl ChareInit for Main {
+    type Seed = MainSeed;
+    fn create(seed: MainSeed, ctx: &mut Ctx) -> Self {
+        let me = ctx.self_id();
+        let squares: Vec<u64> = (0..ctx.npes() as u64).map(|i| i * i).collect();
+        ctx.write_once(squares, Notify::Chare(me, EP_WO_READY));
+        Main {
+            cfg: seed.cfg,
+            boc: seed.boc,
+            squares: None,
+            phase: 0,
+            acks: 0,
+        }
+    }
+}
+
+impl Chare for Main {
+    fn entry(&mut self, ep: EpId, msg: MsgBody, ctx: &mut Ctx) {
+        let me = ctx.self_id();
+        match ep {
+            EP_WO_READY => {
+                assert_eq!(self.phase, 0);
+                self.phase = 1;
+                let ready = cast::<WoReady>(msg);
+                self.squares = Some(ready.id);
+                ctx.broadcast_branch(
+                    self.boc,
+                    EP_START,
+                    StartMsg {
+                        cfg: self.cfg.clone(),
+                        squares: ready.id,
+                        main: me,
+                    },
+                );
+                ctx.start_quiescence(Notify::Chare(me, EP_QD1));
+            }
+            EP_QD1 => {
+                assert_eq!(self.phase, 1);
+                self.phase = 2;
+                let _ = cast::<QuiescenceMsg>(msg);
+                ctx.acc_collect(self.cfg.acc, Notify::Chare(me, EP_ACC));
+            }
+            EP_ACC => {
+                assert_eq!(self.phase, 2);
+                self.phase = 3;
+                let total = cast::<AccResult<u64>>(msg).value;
+                let p = ctx.npes() as u64;
+                // sum of squares of 0..P plus P * ro_offset(7).
+                let want: u64 = (0..p).map(|i| i * i).sum::<u64>() + 7 * p;
+                assert_eq!(total, want, "accumulator total wrong");
+                // Monotonic: the deepest worker published 1000-(P-1).
+                assert_eq!(ctx.mono_get(self.cfg.best), 1000 - (p - 1));
+                // Second wave: delete every table entry with acks.
+                for pe in 0..p {
+                    ctx.table_delete(self.cfg.table, pe, Some(Notify::Chare(me, EP_DEL_ACK)));
+                }
+            }
+            EP_DEL_ACK => {
+                assert_eq!(self.phase, 3);
+                let ack = cast::<TableAck>(msg);
+                assert!(ack.existed, "entry {} vanished early", ack.key);
+                self.acks += 1;
+                if self.acks == ctx.npes() {
+                    self.phase = 4;
+                    ctx.start_quiescence(Notify::Chare(me, EP_QD2));
+                }
+            }
+            EP_QD2 => {
+                assert_eq!(self.phase, 4);
+                let _ = cast::<QuiescenceMsg>(msg);
+                ctx.exit(true);
+            }
+            _ => unreachable!("unknown entry point {ep:?}"),
+        }
+    }
+}
+
+fn build(
+    queueing: QueueingStrategy,
+    balance: BalanceStrategy,
+    bcast: BroadcastMode,
+    combining: bool,
+) -> Program {
+    let mut b = ProgramBuilder::new();
+    let worker = b.chare::<Worker>();
+    let main = b.chare::<Main>();
+    let boc = b.boc::<Spawner>(());
+    let acc = b.accumulator::<SumU64>();
+    let best = b.monotonic::<MinBoundU64>();
+    let table = b.table::<u64>();
+    let ro = b.read_only(vec![7u64, 8, 9]);
+    b.queueing(queueing);
+    b.balance(balance);
+    b.broadcast_mode(bcast);
+    b.combining(combining);
+    let cfg = Cfg {
+        worker,
+        acc,
+        best,
+        table,
+        ro,
+    };
+    b.main(main, MainSeed { cfg, boc });
+    b.build()
+}
+
+#[test]
+fn kitchen_sink_runs_under_every_configuration() {
+    for queueing in QueueingStrategy::ALL {
+        for balance in [BalanceStrategy::Random, BalanceStrategy::acwn()] {
+            for bcast in [BroadcastMode::Tree, BroadcastMode::Direct] {
+                for combining in [false, true] {
+                    for npes in [1usize, 5, 8] {
+                        let prog = build(queueing, balance.clone(), bcast, combining);
+                        let mut rep = prog.run_sim_preset(npes, MachinePreset::NcubeLike);
+                        assert_eq!(
+                            rep.take_result::<bool>(),
+                            Some(true),
+                            "{queueing:?}/{balance:?}/{bcast:?}/combining={combining}/npes={npes}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn kitchen_sink_on_threads() {
+    let prog = build(
+        QueueingStrategy::BitvecPriority,
+        BalanceStrategy::acwn(),
+        BroadcastMode::Tree,
+        true,
+    );
+    let mut rep = prog.run_threads(4);
+    assert!(!rep.timed_out);
+    assert_eq!(rep.take_result::<bool>(), Some(true));
+}
+
+#[test]
+fn kitchen_sink_is_deterministic_on_sim() {
+    let prog = build(
+        QueueingStrategy::IntPriority,
+        BalanceStrategy::Random,
+        BroadcastMode::Tree,
+        true,
+    );
+    let a = prog.run_sim_preset(6, MachinePreset::IpscLike);
+    let b = prog.run_sim_preset(6, MachinePreset::IpscLike);
+    assert_eq!(a.time_ns, b.time_ns);
+    assert_eq!(
+        a.sim.as_ref().unwrap().events,
+        b.sim.as_ref().unwrap().events
+    );
+}

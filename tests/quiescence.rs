@@ -1,0 +1,267 @@
+//! Adversarial quiescence-detection tests: QD must never fire while any
+//! user message is queued or in flight, and must fire exactly once per
+//! request after the computation drains.
+
+use charm_repro::prelude::*;
+
+const EP_HOP: EpId = EpId(1);
+const EP_QUIESCENT: EpId = EpId(2);
+
+/// A long sequential chain of single messages hopping across PEs — the
+/// classic QD stress: at any instant at most one user message exists in
+/// the whole machine, so a naive detector would fire early.
+#[derive(Clone)]
+struct ChainSeed {
+    hops: u32,
+    relay: Kind<Relay>,
+}
+message!(ChainSeed);
+
+#[derive(Clone, Copy)]
+struct RelaySeed {
+    main: ChareId,
+}
+message!(RelaySeed);
+
+struct ChainMain {
+    hops_done: u32,
+    hops_wanted: u32,
+    quiesced: bool,
+    relays: Vec<ChareId>,
+}
+
+impl ChareInit for ChainMain {
+    type Seed = ChainSeed;
+    fn create(seed: ChainSeed, ctx: &mut Ctx) -> Self {
+        let me = ctx.self_id();
+        ctx.start_quiescence(Notify::Chare(me, EP_QUIESCENT));
+        // One relay per PE, explicitly placed.
+        for pe in 0..ctx.npes() {
+            ctx.create_on(Pe::from(pe), seed.relay, RelaySeed { main: me });
+        }
+        ChainMain {
+            hops_done: 0,
+            hops_wanted: seed.hops,
+            quiesced: false,
+            relays: Vec::new(),
+        }
+    }
+}
+
+impl Chare for ChainMain {
+    fn entry(&mut self, ep: EpId, msg: MsgBody, ctx: &mut Ctx) {
+        match ep {
+            EP_HOP => {
+                let relay = cast::<ChareId>(msg);
+                self.relays.push(relay);
+                if self.relays.len() == ctx.npes() {
+                    // All relays registered: launch the chain.
+                    self.relays.sort();
+                    self.bounce(ctx);
+                }
+            }
+            EP_QUIESCENT => {
+                let _ = cast::<QuiescenceMsg>(msg);
+                assert!(!self.quiesced, "quiescence fired twice");
+                self.quiesced = true;
+                assert_eq!(
+                    self.hops_done, self.hops_wanted,
+                    "quiescence fired while the chain was still running"
+                );
+                ctx.exit(self.hops_done);
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+impl ChainMain {
+    fn bounce(&mut self, ctx: &mut Ctx) {
+        if self.hops_done < self.hops_wanted {
+            let next = self.relays[self.hops_done as usize % self.relays.len()];
+            self.hops_done += 1;
+            ctx.send(next, EP_HOP, ());
+        }
+        // else: go quiet; QD should now fire.
+    }
+}
+
+struct Relay {
+    main: ChareId,
+}
+
+impl ChareInit for Relay {
+    type Seed = RelaySeed;
+    fn create(seed: RelaySeed, ctx: &mut Ctx) -> Self {
+        let me = ctx.self_id();
+        ctx.send(seed.main, EP_HOP, me);
+        Relay { main: seed.main }
+    }
+}
+
+impl Chare for Relay {
+    fn entry(&mut self, ep: EpId, _msg: MsgBody, ctx: &mut Ctx) {
+        assert_eq!(ep, EP_HOP);
+        // Bounce back to main, which decides whether to continue.
+        // (Relay -> main counts as the same "one message in flight".)
+        ctx.send(self.main, EP_HOP_BACK, ());
+    }
+}
+
+const EP_HOP_BACK: EpId = EpId(3);
+
+#[test]
+fn chain_does_not_trigger_early_quiescence() {
+    let mut b = ProgramBuilder::new();
+    let relay = b.chare::<Relay>();
+    let main = b.chare::<ChainMainWrapper>();
+    b.main(main, ChainSeed { hops: 57, relay });
+    let mut rep = b.build().run_sim_preset(6, MachinePreset::NcubeLike);
+    assert_eq!(rep.take_result::<u32>(), Some(57));
+}
+
+/// Wrapper handling both HOP (registration) and HOP_BACK (chain step).
+struct ChainMainWrapper {
+    inner: ChainMain,
+}
+
+impl ChareInit for ChainMainWrapper {
+    type Seed = ChainSeed;
+    fn create(seed: ChainSeed, ctx: &mut Ctx) -> Self {
+        ChainMainWrapper {
+            inner: ChainMain::create(seed, ctx),
+        }
+    }
+}
+
+impl Chare for ChainMainWrapper {
+    fn entry(&mut self, ep: EpId, msg: MsgBody, ctx: &mut Ctx) {
+        if ep == EP_HOP_BACK {
+            cast::<()>(msg);
+            self.inner.bounce(ctx);
+        } else {
+            self.inner.entry(ep, msg, ctx);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+
+const EP_Q1: EpId = EpId(10);
+const EP_Q2: EpId = EpId(11);
+
+/// Two QD sessions in one program: the detector must be reusable.
+#[derive(Clone)]
+struct TwoPhaseSeed {
+    worker: Kind<Burst>,
+}
+message!(TwoPhaseSeed);
+
+#[derive(Clone, Copy)]
+struct BurstSeed {
+    fanout: u32,
+    depth: u32,
+    kind: Kind<Burst>,
+}
+message!(BurstSeed);
+
+struct Burst;
+impl ChareInit for Burst {
+    type Seed = BurstSeed;
+    fn create(seed: BurstSeed, ctx: &mut Ctx) -> Self {
+        if seed.depth > 0 {
+            for _ in 0..seed.fanout {
+                ctx.create(
+                    seed.kind,
+                    BurstSeed {
+                        fanout: seed.fanout,
+                        depth: seed.depth - 1,
+                        kind: seed.kind,
+                    },
+                );
+            }
+        }
+        ctx.destroy_self();
+        Burst
+    }
+}
+impl Chare for Burst {
+    fn entry(&mut self, _ep: EpId, _msg: MsgBody, _ctx: &mut Ctx) {
+        unreachable!()
+    }
+}
+
+struct TwoPhase {
+    worker: Kind<Burst>,
+    phase: u32,
+}
+
+impl ChareInit for TwoPhase {
+    type Seed = TwoPhaseSeed;
+    fn create(seed: TwoPhaseSeed, ctx: &mut Ctx) -> Self {
+        let me = ctx.self_id();
+        ctx.start_quiescence(Notify::Chare(me, EP_Q1));
+        ctx.create(
+            seed.worker,
+            BurstSeed {
+                fanout: 3,
+                depth: 3,
+                kind: seed.worker,
+            },
+        );
+        TwoPhase {
+            worker: seed.worker,
+            phase: 1,
+        }
+    }
+}
+
+impl Chare for TwoPhase {
+    fn entry(&mut self, ep: EpId, msg: MsgBody, ctx: &mut Ctx) {
+        let me = ctx.self_id();
+        let _ = cast::<QuiescenceMsg>(msg);
+        match ep {
+            EP_Q1 => {
+                assert_eq!(self.phase, 1);
+                self.phase = 2;
+                ctx.start_quiescence(Notify::Chare(me, EP_Q2));
+                ctx.create(
+                    self.worker,
+                    BurstSeed {
+                        fanout: 2,
+                        depth: 4,
+                        kind: self.worker,
+                    },
+                );
+            }
+            EP_Q2 => {
+                assert_eq!(self.phase, 2);
+                ctx.exit(self.phase);
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+#[test]
+fn quiescence_detector_is_reusable() {
+    let mut b = ProgramBuilder::new();
+    let worker = b.chare::<Burst>();
+    let main = b.chare::<TwoPhase>();
+    b.balance(BalanceStrategy::Random);
+    b.main(main, TwoPhaseSeed { worker });
+    let mut rep = b.build().run_sim_preset(8, MachinePreset::NcubeLike);
+    assert_eq!(rep.take_result::<u32>(), Some(2));
+}
+
+#[test]
+fn quiescence_works_on_threads() {
+    let mut b = ProgramBuilder::new();
+    let worker = b.chare::<Burst>();
+    let main = b.chare::<TwoPhase>();
+    b.balance(BalanceStrategy::Random);
+    b.main(main, TwoPhaseSeed { worker });
+    let mut rep = b.build().run_threads(4);
+    assert!(!rep.timed_out, "quiescence never fired on threads");
+    assert_eq!(rep.take_result::<u32>(), Some(2));
+}
