@@ -137,6 +137,15 @@ pub(crate) trait Balancer: Send {
         let _ = rng;
         None
     }
+
+    /// Choose a new home for a seed whose delivery to `suspect` timed
+    /// out (reliable-delivery recovery). `None` means the strategy has
+    /// no opinion and the node falls back to a uniform pick avoiding
+    /// the suspect.
+    fn redirect_target(&mut self, suspect: Pe, rng: &mut StdRng) -> Option<Pe> {
+        let _ = (suspect, rng);
+        None
+    }
 }
 
 /// No balancing.
@@ -216,6 +225,27 @@ impl Balancer for CentralBalancer {
     fn load_targets(&self) -> &[Pe] {
         &self.report_to
     }
+
+    fn redirect_target(&mut self, suspect: Pe, _rng: &mut StdRng) -> Option<Pe> {
+        if self.pe != Pe::ZERO {
+            return None;
+        }
+        // Manager: reassign to the least-loaded PE that isn't the one
+        // that stopped answering.
+        let mut best: Option<usize> = None;
+        for i in 0..self.loads.len() {
+            if i == suspect.index() || Pe::from(i) == self.pe {
+                continue;
+            }
+            if best.is_none_or(|b| self.loads[i] < self.loads[b]) {
+                best = Some(i);
+            }
+        }
+        best.map(|i| {
+            self.loads[i] += 1;
+            Pe::from(i)
+        })
+    }
 }
 
 /// Receiver-initiated: seeds stay local in a stealable pool; idle PEs
@@ -245,6 +275,17 @@ impl Balancer for TokenBalancer {
         let v = self.neighbors[self.next % self.neighbors.len()];
         self.next += 1;
         Some(v)
+    }
+
+    fn redirect_target(&mut self, suspect: Pe, _rng: &mut StdRng) -> Option<Pe> {
+        for _ in 0..self.neighbors.len() {
+            let v = self.neighbors[self.next % self.neighbors.len()];
+            self.next += 1;
+            if v != suspect {
+                return Some(v);
+            }
+        }
+        None
     }
 }
 
@@ -290,6 +331,23 @@ impl Balancer for AcwnBalancer {
 
     fn load_targets(&self) -> &[Pe] {
         &self.report_to
+    }
+
+    fn redirect_target(&mut self, suspect: Pe, _rng: &mut StdRng) -> Option<Pe> {
+        // Least-loaded neighbor other than the suspect.
+        let mut best: Option<usize> = None;
+        for (i, &n) in self.neighbors.iter().enumerate() {
+            if n == suspect {
+                continue;
+            }
+            if best.is_none_or(|b| self.loads[i] < self.loads[b]) {
+                best = Some(i);
+            }
+        }
+        best.map(|i| {
+            self.loads[i] += 1;
+            self.neighbors[i]
+        })
     }
 }
 

@@ -29,6 +29,21 @@ pub const PLACED: u32 = u32::MAX;
 /// a spanning-tree broadcast.
 pub type CastGen = Arc<dyn Fn() -> SysMsg + Send + Sync>;
 
+/// Shared payload slot for reliable delivery.
+///
+/// Message bodies are un-clonable, so retransmission cannot copy them.
+/// Instead the sender's retransmit buffer and every wire frame co-own
+/// one slot; the receiver atomically `take()`s the body on first
+/// delivery. Late duplicates and retransmissions of an already-consumed
+/// message find the slot empty — exactly-once delivery even when a
+/// timed-out seed has been reclaimed and redirected while the original
+/// frame is still in flight.
+pub type RelSlot = Arc<std::sync::Mutex<Option<SysMsg>>>;
+
+/// Extra wire bytes a reliable frame adds to its carried message
+/// (sequence number + flags).
+pub const REL_HEADER: u32 = 16;
+
 /// The kernel-to-kernel wire protocol.
 pub enum SysMsg {
     /// Several messages for the same destination PE combined into one
@@ -199,6 +214,26 @@ pub enum SysMsg {
     },
     /// Negative response to a `WorkReq`.
     WorkNack,
+    /// A sequence-numbered reliable frame carrying one inner message
+    /// (or a batch). The receiver acks `seq`, dedups per sender, and
+    /// takes the body from the shared slot on first delivery. Counting
+    /// for quiescence happens on the *inner* message, so
+    /// retransmissions never perturb the QD counters.
+    RelData {
+        /// Per-(sender, receiver) sequence number, starting at 1.
+        seq: u64,
+        /// Wire size of the carried message.
+        bytes: u32,
+        /// Co-owned body; empty once consumed.
+        slot: RelSlot,
+    },
+    /// Cumulative acknowledgment of reliable frames from this PE.
+    /// Unreliable and uncounted: a lost ack is repaired by the
+    /// retransmission it fails to suppress.
+    RelAck {
+        /// Sequence numbers being acknowledged.
+        seqs: Vec<u64>,
+    },
 }
 
 impl SysMsg {
@@ -214,6 +249,9 @@ impl SysMsg {
             | SysMsg::LoadStatus { .. }
             | SysMsg::WorkReq { .. }
             | SysMsg::WorkNack => false,
+            // Reliable framing is transport plumbing: the carried message
+            // is counted when (and only when) its slot is consumed.
+            SysMsg::RelData { .. } | SysMsg::RelAck { .. } => false,
             _ => true,
         }
     }
@@ -246,6 +284,12 @@ impl SysMsg {
                 SysMsg::LoadStatus { .. } => 4,
                 SysMsg::WorkReq { .. } => 5,
                 SysMsg::WorkNack => 0,
+                // The inner `bytes` already include its envelope header;
+                // the frame shares it and adds only the reliable header.
+                SysMsg::RelData { bytes, .. } => {
+                    (bytes + REL_HEADER).saturating_sub(ENVELOPE_HEADER)
+                }
+                SysMsg::RelAck { seqs } => 4 + 8 * seqs.len() as u32,
             }
     }
 }

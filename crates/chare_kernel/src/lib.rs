@@ -65,6 +65,7 @@ pub mod program;
 pub mod queueing;
 pub mod quiescence;
 pub mod registry;
+pub mod reliable;
 pub mod shared;
 pub mod stats;
 
@@ -79,6 +80,7 @@ pub use msg::Message;
 pub use priority::{BitPrio, Priority};
 pub use program::{CkReport, Program, ProgramBuilder};
 pub use queueing::QueueingStrategy;
+pub use reliable::ReliableConfig;
 pub use shared::{
     Acc, AccResult, Accum, MaxF64, MinBoundU64, MinU64, Mono, MonoVar, QuiescenceMsg, ReadOnly,
     SumF64, SumU64, TableAck, TableGot, TableRef, WoReady,
@@ -98,9 +100,12 @@ pub mod prelude {
     pub use crate::priority::{BitPrio, Priority};
     pub use crate::program::{CkReport, Program, ProgramBuilder};
     pub use crate::queueing::QueueingStrategy;
+    pub use crate::reliable::ReliableConfig;
     pub use crate::shared::{
         Acc, AccResult, Accum, MaxF64, MinBoundU64, MinU64, Mono, MonoVar, QuiescenceMsg,
         ReadOnly, SumF64, SumU64, TableAck, TableGot, TableRef, WoReady,
     };
-    pub use multicomputer::{Cost, MachinePreset, Pe, SimConfig, ThreadConfig, Topology};
+    pub use multicomputer::{Cost, FaultPlan, MachinePreset, Pe, SimConfig, Topology};
+    #[cfg(feature = "threads")]
+    pub use multicomputer::ThreadConfig;
 }

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use multicomputer::{NetCtx, NodeProgram, NodeStats, Packet, Pe, StepKind};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::balance::{Balancer, Placement};
 use crate::bcast::{tree_children, BroadcastMode};
@@ -26,6 +26,9 @@ use crate::priority::Priority;
 use crate::queueing::SchedQueue;
 use crate::quiescence::{QdAction, QdCoordinator};
 use crate::registry::Registry;
+use crate::reliable::{
+    ack_payload, frame_payload, frame_wire_bytes, Accept, RedirectSeed, RelState, ReliableConfig,
+};
 use crate::shared::{QuiescenceMsg, TableAck, WoReady};
 use crate::stats::KernelCounters;
 
@@ -57,6 +60,9 @@ pub(crate) struct NodeOptions {
     pub bcast: BroadcastMode,
     pub combining: bool,
     pub rng_seed: u64,
+    /// Wrap remote messages in acked, retransmitted frames (for lossy
+    /// machine configurations).
+    pub reliable: Option<ReliableConfig>,
 }
 
 pub(crate) struct CollectState {
@@ -111,6 +117,8 @@ pub struct CkNode {
     /// a step and flush as one batch per destination at step end.
     pub(crate) combining: bool,
     outbuf: Vec<Vec<SysMsg>>,
+    /// Reliable-delivery bookkeeping (None = trust the transport).
+    rel: Option<RelState>,
     pub(crate) rng: StdRng,
     pub(crate) counters: KernelCounters,
     last_advertised: Option<u32>,
@@ -157,6 +165,7 @@ impl CkNode {
             bcast_mode: opts.bcast,
             combining: opts.combining,
             outbuf: (0..npes).map(|_| Vec::new()).collect(),
+            rel: opts.reliable.map(|cfg| RelState::new(npes, cfg)),
             rng: StdRng::seed_from_u64(
                 opts.rng_seed ^ (pe.index() as u64).wrapping_mul(0x9E37_79B9),
             ),
@@ -195,12 +204,11 @@ impl CkNode {
         if sys.counted() {
             self.counters.user_sent += 1;
         }
-        let bytes = sys.wire_bytes();
-        if self.combining && to != self.pe && bytes <= COMBINE_MAX_BYTES {
+        if self.combining && to != self.pe && sys.wire_bytes() <= COMBINE_MAX_BYTES {
             self.outbuf[to.index()].push(sys);
             return;
         }
-        net.send(to, bytes, Box::new(sys));
+        self.wire_send(net, to, sys);
     }
 
     /// Ship everything buffered by message combining.
@@ -218,8 +226,133 @@ impl CkNode {
             } else {
                 SysMsg::Batch(batch)
             };
-            let bytes = sys.wire_bytes();
-            net.send(Pe::from(to), bytes, Box::new(sys));
+            self.wire_send(net, Pe::from(to), sys);
+        }
+    }
+
+    /// Put one envelope on the wire. With reliable delivery enabled,
+    /// remote messages are wrapped in a sequence-numbered frame, held
+    /// for retransmission until acknowledged, and the retransmission
+    /// alarm is (re)armed. Counting already happened in [`Self::post`],
+    /// so redirected seeds can re-enter here without skewing the
+    /// quiescence counters.
+    fn wire_send(&mut self, net: &mut dyn NetCtx, to: Pe, sys: SysMsg) {
+        if to == self.pe || self.rel.is_none() {
+            net.send(to, sys.wire_bytes(), Box::new(sys));
+            return;
+        }
+        // Only seeds still subject to load balancing may be re-homed if
+        // the destination stops answering; everything else (including
+        // batches, which were combined *for* this destination) is
+        // pinned and retries forever.
+        let is_seed = matches!(&sys, SysMsg::NewChare { hops, .. } if *hops != PLACED);
+        let now = net.now_ns();
+        let rel = self.rel.as_mut().expect("checked above");
+        // A closed send window parks the message; take_ready releases
+        // it from the scheduler step once acks make room.
+        if let Some(reg) = rel.submit(to, sys, now, is_seed) {
+            net.send(
+                to,
+                reg.frame_bytes,
+                frame_payload(reg.seq, reg.inner_bytes, &reg.slot),
+            );
+            if let Some(after) = rel.rearm(now) {
+                net.set_alarm(after);
+            }
+        }
+    }
+
+    /// Transmit messages whose send window has reopened.
+    fn flush_ready(&mut self, net: &mut dyn NetCtx) -> bool {
+        let Some(rel) = self.rel.as_mut() else {
+            return false;
+        };
+        let ready = rel.take_ready(net.now_ns());
+        if ready.is_empty() {
+            return false;
+        }
+        for (to, reg) in ready {
+            net.send(
+                to,
+                reg.frame_bytes,
+                frame_payload(reg.seq, reg.inner_bytes, &reg.slot),
+            );
+        }
+        let rel = self.rel.as_mut().expect("checked above");
+        if let Some(after) = rel.rearm(net.now_ns()) {
+            net.set_alarm(after);
+        }
+        true
+    }
+
+    /// Send any queued reliable acks. Acks travel unwrapped (they *are*
+    /// the acknowledgment machinery) and uncounted; a lost ack is
+    /// repaired by the retransmission it fails to suppress.
+    fn flush_acks(&mut self, net: &mut dyn NetCtx) -> bool {
+        let Some(rel) = self.rel.as_mut() else {
+            return false;
+        };
+        let acks = rel.take_acks();
+        if acks.is_empty() {
+            return false;
+        }
+        for (to, seqs) in acks {
+            let bytes = SysMsg::RelAck { seqs: seqs.clone() }.wire_bytes();
+            net.send(to, bytes, ack_payload(seqs));
+            self.counters.acks_sent += 1;
+        }
+        true
+    }
+
+    /// Give a seed reclaimed by the reliable layer a new home away from
+    /// the PE that stopped acknowledging.
+    fn redirect_seed(&mut self, net: &mut dyn NetCtx, rd: RedirectSeed) {
+        self.counters.seeds_redirected += 1;
+        let chosen = self
+            .balancer
+            .redirect_target(rd.suspect, &mut self.rng)
+            .filter(|&t| t != rd.suspect && t.index() < self.npes);
+        let target = match chosen {
+            Some(t) => t,
+            None => {
+                // Uniform over the other PEs; run it here if the
+                // suspect was the only alternative.
+                let cands: Vec<Pe> = (0..self.npes)
+                    .map(Pe::from)
+                    .filter(|&p| p != rd.suspect && p != self.pe)
+                    .collect();
+                if cands.is_empty() {
+                    self.pe
+                } else {
+                    cands[self.rng.random_range(0..cands.len())]
+                }
+            }
+        };
+        if let SysMsg::NewChare {
+            kind,
+            seed,
+            bytes,
+            prio,
+            ..
+        } = rd.seed
+        {
+            if target == self.pe {
+                self.place_seed(net, kind, seed, bytes, prio, PLACED);
+            } else {
+                // hops = 1 so the receiver's balancer settles it rather
+                // than bouncing it onward.
+                self.wire_send(
+                    net,
+                    target,
+                    SysMsg::NewChare {
+                        kind,
+                        seed,
+                        bytes,
+                        prio,
+                        hops: 1,
+                    },
+                );
+            }
         }
     }
 
@@ -415,6 +548,9 @@ impl CkNode {
             SysMsg::Batch(_) => {
                 unreachable!("batches are unpacked on arrival")
             }
+            SysMsg::RelData { .. } | SysMsg::RelAck { .. } => {
+                unreachable!("reliable frames are peeled off on arrival")
+            }
             SysMsg::NewChare {
                 kind,
                 seed,
@@ -578,7 +714,11 @@ impl CkNode {
             }
             SysMsg::QdPoll { wave } => {
                 self.counters.qd_replies += 1;
-                let idle = !self.user_pending();
+                // A PE with unacked frames or owed acks is not idle: an
+                // in-flight frame may still inject user work somewhere,
+                // so quiescence must wait for the transport to settle.
+                let idle =
+                    !self.user_pending() && self.rel.as_ref().is_none_or(|r| r.quiet());
                 let reply = SysMsg::QdCount {
                     wave,
                     sent: self.counters.user_sent,
@@ -857,7 +997,35 @@ impl NodeProgram for CkNode {
     }
 
     fn has_work(&self) -> bool {
-        !self.sys.is_empty() || !self.queue.is_empty() || !self.pool.is_empty()
+        !self.sys.is_empty()
+            || !self.queue.is_empty()
+            || !self.pool.is_empty()
+            || self
+                .rel
+                .as_ref()
+                .is_some_and(|r| r.has_acks() || r.has_ready())
+    }
+
+    fn alarm(&mut self, net: &mut dyn NetCtx) {
+        let Some(rel) = self.rel.as_mut() else {
+            return;
+        };
+        let now = net.now_ns();
+        let actions = rel.on_alarm(now);
+        for rt in actions.retransmits {
+            self.counters.retransmits += 1;
+            net.send(
+                rt.to,
+                frame_wire_bytes(rt.inner_bytes),
+                frame_payload(rt.seq, rt.inner_bytes, &rt.slot),
+            );
+        }
+        for rd in actions.redirects {
+            self.redirect_seed(net, rd);
+        }
+        if let Some(after) = self.rel.as_mut().expect("checked above").rearm(now) {
+            net.set_alarm(after);
+        }
     }
 
     fn backlog(&self) -> usize {
@@ -873,6 +1041,37 @@ impl CkNode {
     /// File one arrived envelope into the right queue (unpacking
     /// batches). Runs no user code.
     fn classify_incoming(&mut self, from: Pe, sys: SysMsg) {
+        // Reliable transport framing peels off first: ack every frame
+        // (fresh or duplicate), deliver bodies exactly once and in
+        // sequence order per link.
+        let sys = match sys {
+            SysMsg::RelData { seq, slot, .. } => {
+                let verdict = self.rel.as_mut().map(|rel| rel.accept(from, seq, &slot));
+                match verdict {
+                    Some(Accept::Dup) => self.counters.dup_dropped += 1,
+                    Some(Accept::Deliver(run)) => {
+                        for inner in run {
+                            self.classify_incoming(from, inner);
+                        }
+                    }
+                    // Frame without reliable mode (shouldn't happen):
+                    // deliver the body, nobody will ack.
+                    None => {
+                        if let Some(inner) = slot.lock().expect("slot lock").take() {
+                            self.classify_incoming(from, inner);
+                        }
+                    }
+                }
+                return;
+            }
+            SysMsg::RelAck { seqs } => {
+                if let Some(rel) = self.rel.as_mut() {
+                    rel.on_ack(from, &seqs);
+                }
+                return;
+            }
+            other => other,
+        };
         if let SysMsg::Batch(inner) = sys {
             for m in inner {
                 self.classify_incoming(from, m);
@@ -915,6 +1114,17 @@ impl CkNode {
 
     fn step_inner(&mut self, net: &mut dyn NetCtx) -> Option<StepKind> {
         let mut did = None;
+        // Transport acks first: deferred from `incoming` (which has no
+        // network access). A stalled PE never reaches this point, which
+        // is exactly why its senders start retransmitting.
+        if self.flush_acks(net) {
+            did = Some(StepKind::Control);
+        }
+        // Then transmissions the send window released (acks may have
+        // just opened it).
+        if self.flush_ready(net) {
+            did = Some(StepKind::Control);
+        }
         // Kernel control first (placement, shared variables, QD, tokens).
         while let Some((from, sys)) = self.sys.pop_front() {
             self.handle_sys(net, from, sys);
@@ -998,6 +1208,7 @@ mod tests {
                 bcast,
                 combining: false,
                 rng_seed: 7,
+                reliable: None,
             },
         )
     }
@@ -1071,6 +1282,7 @@ mod tests {
             bcast: BroadcastMode::Tree,
             combining: false,
             rng_seed: 7,
+            reliable: None,
         };
         let mut node = CkNode::new(Pe(0), 4, reg, queue, balancer, opts);
         let mut net = MockNet::new(Pe(0), 4);
@@ -1116,6 +1328,7 @@ mod tests {
             bcast: BroadcastMode::Tree,
             combining: false,
             rng_seed: 7,
+            reliable: None,
         };
         let mut node = CkNode::new(Pe(1), 4, reg, queue, balancer, opts);
         let mut net = MockNet::new(Pe(1), 4);
@@ -1154,6 +1367,7 @@ mod tests {
             bcast: BroadcastMode::Tree,
             combining: false,
             rng_seed: 7,
+            reliable: None,
         };
         let mut node = CkNode::new(Pe(1), 4, reg, queue, balancer, opts);
         let mut net = MockNet::new(Pe(1), 4);

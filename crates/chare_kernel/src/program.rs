@@ -12,10 +12,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use multicomputer::{
-    imbalance, Cost, NodeFactory, Payload, Pe, SimConfig, SimMachine, SimTime, ThreadConfig,
-    ThreadMachine, Topology,
+    imbalance, AbortReason, Cost, FaultStats, NodeFactory, Payload, Pe, SimConfig, SimMachine,
+    SimTime, Topology,
 };
 use multicomputer::{MachinePreset, NodeStats};
+#[cfg(feature = "threads")]
+use multicomputer::{ThreadConfig, ThreadMachine};
 
 use crate::balance::BalanceStrategy;
 use crate::bcast::BroadcastMode;
@@ -26,6 +28,7 @@ use crate::msg::Message;
 use crate::node::{CkNode, NodeOptions};
 use crate::queueing::QueueingStrategy;
 use crate::registry::{AccEntry, BocEntry, ChareEntry, MainSpec, MonoEntry, Registry, TableEntry};
+use crate::reliable::ReliableConfig;
 use crate::shared::{Acc, Accum, Mono, MonoVar, ReadOnly, TableRef};
 
 /// Builder for a chare-kernel program.
@@ -36,6 +39,7 @@ pub struct ProgramBuilder {
     bcast: BroadcastMode,
     combining: bool,
     rng_seed: u64,
+    reliable: Option<ReliableConfig>,
 }
 
 impl Default for ProgramBuilder {
@@ -55,6 +59,7 @@ impl ProgramBuilder {
             bcast: BroadcastMode::Tree,
             combining: false,
             rng_seed: 0x5EED_CAFE,
+            reliable: None,
         }
     }
 
@@ -151,6 +156,17 @@ impl ProgramBuilder {
         self
     }
 
+    /// Enable reliable inter-PE delivery: every remote message travels
+    /// in a sequence-numbered frame that is acknowledged, deduplicated
+    /// and retransmitted with exponential backoff, and seeds bound for
+    /// unresponsive PEs are re-dispatched elsewhere. Needed when the
+    /// simulated machine injects faults ([`SimConfig::with_faults`]);
+    /// pure overhead (but harmless) on a lossless machine.
+    pub fn reliable(&mut self, cfg: ReliableConfig) -> &mut Self {
+        self.reliable = Some(cfg);
+        self
+    }
+
     /// Finalize into an immutable, reusable [`Program`].
     pub fn build(self) -> Program {
         Program {
@@ -160,6 +176,7 @@ impl ProgramBuilder {
             bcast: self.bcast,
             combining: self.combining,
             rng_seed: self.rng_seed,
+            reliable: self.reliable,
         }
     }
 }
@@ -174,6 +191,7 @@ pub struct Program {
     bcast: BroadcastMode,
     combining: bool,
     rng_seed: u64,
+    reliable: Option<ReliableConfig>,
 }
 
 impl Program {
@@ -192,6 +210,14 @@ impl Program {
     pub fn with_combining(&self) -> Program {
         let mut p = self.clone();
         p.combining = true;
+        p
+    }
+
+    /// A copy of this program with reliable delivery enabled — sugar
+    /// for resilience sweeps over an already-built program.
+    pub fn with_reliable(&self, cfg: ReliableConfig) -> Program {
+        let mut p = self.clone();
+        p.reliable = Some(cfg);
         p
     }
 
@@ -228,6 +254,8 @@ impl Program {
                 bytes: rep.bytes,
                 events: rep.events,
                 quiesced: rep.quiesced,
+                aborted: rep.aborted,
+                faults: rep.faults,
                 samples: rep.samples,
                 timeline: rep.timeline,
             }),
@@ -242,11 +270,13 @@ impl Program {
     /// Run on the thread backend with `npes` OS threads and a default
     /// watchdog. The logical topology (used for balancing neighborhoods)
     /// is a hypercube.
+    #[cfg(feature = "threads")]
     pub fn run_threads(&self, npes: usize) -> CkReport {
         self.run_threads_cfg(ThreadConfig::new(npes), Topology::Hypercube)
     }
 
     /// Run on the thread backend with full control.
+    #[cfg(feature = "threads")]
     pub fn run_threads_cfg(&self, cfg: ThreadConfig, topology: Topology) -> CkReport {
         let factory = self.factory(topology);
         let rep = ThreadMachine::run(cfg, &factory);
@@ -291,6 +321,7 @@ impl NodeFactory for CkFactory {
                 bcast: self.prog.bcast,
                 combining: self.prog.combining,
                 rng_seed: self.prog.rng_seed,
+                reliable: self.prog.reliable,
             },
         )
     }
@@ -314,6 +345,10 @@ pub struct SimDetail {
     pub events: u64,
     /// True if the run ended by global quiescence rather than `exit`.
     pub quiesced: bool,
+    /// Set if the simulator cut the run short (e.g. event-limit hit).
+    pub aborted: Option<AbortReason>,
+    /// Fault-injection tallies, when the machine ran with a fault plan.
+    pub faults: Option<FaultStats>,
     /// Backlog samples, if sampling was enabled.
     pub samples: Vec<(SimTime, Vec<usize>)>,
     /// Execution spans, if tracing was enabled.

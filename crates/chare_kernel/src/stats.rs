@@ -46,6 +46,15 @@ pub struct KernelCounters {
     /// the per-PE memory pressure the paper's queueing discussion cares
     /// about.
     pub queue_hwm: u64,
+    /// Reliable frames retransmitted after an ack timeout.
+    pub retransmits: u64,
+    /// Duplicate reliable frames discarded by the receiver.
+    pub dup_dropped: u64,
+    /// Ack messages sent (each may cover several frames).
+    pub acks_sent: u64,
+    /// Seeds re-dispatched to a different PE after exhausting their
+    /// retry budget against an unresponsive destination.
+    pub seeds_redirected: u64,
 }
 
 impl KernelCounters {
@@ -69,6 +78,10 @@ impl KernelCounters {
         s.push("load_reports", self.load_reports);
         s.push("qd_replies", self.qd_replies);
         s.push("queue_hwm", self.queue_hwm);
+        s.push("retransmits", self.retransmits);
+        s.push("dup_dropped", self.dup_dropped);
+        s.push("acks_sent", self.acks_sent);
+        s.push("seeds_redirected", self.seeds_redirected);
         s
     }
 }
@@ -88,6 +101,6 @@ mod tests {
         assert_eq!(s.get("user_sent"), Some(3));
         assert_eq!(s.get("chares_created"), Some(2));
         assert_eq!(s.get("dead_letters"), Some(0));
-        assert_eq!(s.counters.len(), 17);
+        assert_eq!(s.counters.len(), 21);
     }
 }

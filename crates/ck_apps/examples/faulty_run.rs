@@ -1,0 +1,46 @@
+//! The README's fault-injection example, runnable: nqueens on a lossy
+//! stalling machine, then fib with a PE crashed at boot.
+
+use chare_kernel::prelude::*;
+use ck_apps::{fib, nqueens};
+use multicomputer::SimTime;
+
+fn main() {
+    let program = nqueens::build_default(nqueens::QueensParams { n: 8, grain: 4 });
+
+    // Drop 5% of packets, duplicate 2%, delay 5% by 200 µs, and freeze
+    // PE 5 between 0.5 ms and 2 ms of simulated time.
+    let plan = FaultPlan::new(0xBAD_5EED)
+        .drop(0.05)
+        .duplicate(0.02)
+        .delay(0.05, Cost::micros(200))
+        .stall(Pe(5), SimTime(500_000), SimTime(2_000_000));
+
+    let cfg = SimConfig::preset(16, MachinePreset::NcubeLike).with_faults(plan);
+    let mut report = program
+        .with_reliable(ReliableConfig::default())
+        .run_sim(cfg);
+
+    assert!(report.sim.as_ref().unwrap().aborted.is_none());
+    println!("nqueens(8) under 5% loss + stall:");
+    println!("  solutions:    {:?}", report.take_result::<u64>());
+    println!("  retransmits:  {}", report.counter_total("retransmits"));
+    println!("  dups dropped: {}", report.counter_total("dup_dropped"));
+
+    let crash = FaultPlan::new(9).crash(Pe(3), SimTime::ZERO);
+    let cfg = SimConfig::preset(16, MachinePreset::NcubeLike).with_faults(crash);
+    let mut report = fib::build(
+        fib::FibParams { n: 16, grain: 9 },
+        QueueingStrategy::Fifo,
+        BalanceStrategy::Random,
+    )
+    .with_reliable(ReliableConfig {
+        timeout: Cost::micros(500),
+        seed_retry_limit: 2,
+        ..ReliableConfig::default()
+    })
+    .run_sim(cfg);
+    println!("fib(16) with PE 3 dead from boot:");
+    println!("  result:           {:?}", report.take_result::<u64>());
+    println!("  seeds redirected: {}", report.counter_total("seeds_redirected"));
+}

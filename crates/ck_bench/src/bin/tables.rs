@@ -9,10 +9,13 @@
 
 use ck_bench::{Scale, Table};
 
+/// Internal id for `--table r`.
+const TABLE_R: u32 = 100;
+
 fn usage() -> ! {
     eprintln!(
         "usage: tables [--all | --table N | --fig N] [--quick] [--csv | --md]\n\
-         tables: 1..=8   figures: 1..=8"
+         tables: 1..=8, r (resilience)   figures: 1..=8"
     );
     std::process::exit(2);
 }
@@ -34,10 +37,11 @@ fn main() {
             "--table" | "--fig" => {
                 let is_table = args[i] == "--table";
                 i += 1;
-                let id = args
-                    .get(i)
-                    .and_then(|a| a.parse().ok())
-                    .unwrap_or_else(|| usage());
+                let id = match args.get(i).map(String::as_str) {
+                    Some("r") | Some("R") if is_table => TABLE_R,
+                    Some(a) => a.parse().unwrap_or_else(|_| usage()),
+                    None => usage(),
+                };
                 which.push((is_table, id));
             }
             _ => usage(),
@@ -58,6 +62,7 @@ fn main() {
             (true, 6) => ck_bench::table6(scale),
             (true, 7) => ck_bench::table7(scale),
             (true, 8) => ck_bench::table8(scale),
+            (true, TABLE_R) => ck_bench::table_r(scale),
             (false, 1) => ck_bench::fig1(scale),
             (false, 2) => ck_bench::fig2(scale),
             (false, 3) => ck_bench::fig3(scale),

@@ -9,7 +9,7 @@
 use chare_kernel::prelude::*;
 use ck_apps::baseline::{kernel_pingpong, raw_jacobi, raw_pingpong};
 use ck_apps::{fib, jacobi, matmul, nqueens, primes, puzzle, quad, sortbench, tsp};
-use multicomputer::{Cost, MachinePreset, SimConfig};
+use multicomputer::{Cost, MachinePreset, SimConfig, SimTime};
 
 use crate::table::Table;
 
@@ -908,6 +908,95 @@ pub fn fig8(scale: Scale) -> Table {
     t
 }
 
+/// Table R: resilience under injected faults — completion time and
+/// message overhead as the simulated network degrades, with the kernel's
+/// reliable-delivery layer enabled. The faults are deterministic (seeded
+/// PRNG), so every cell is reproducible.
+pub fn table_r(scale: Scale) -> Table {
+    let npes = 16;
+    // The default timeout (5 ms) rides well above the loaded round trip
+    // of every app here — sort's large records inflate the RTT the most
+    // — so retransmissions repair real losses instead of chasing acks
+    // that are merely queued behind a busy NIC.
+    let rel = ReliableConfig {
+        seed_retry_limit: 3,
+        ..ReliableConfig::default()
+    };
+    // Drop-rate sweep, plus a mid-run PE stall on top of the 5% case.
+    let cases: &[(&str, f64, bool)] = &[
+        ("1% drop", 0.01, false),
+        ("5% drop", 0.05, false),
+        ("10% drop", 0.10, false),
+        ("5% + stall", 0.05, true),
+    ];
+    let mut t = Table::new(
+        format!("Table R: resilience under injected faults ({npes}-PE simulated NCUBE-like hypercube, reliable delivery on)"),
+        &[
+            "program",
+            "faults",
+            "sim ms",
+            "time x",
+            "packets",
+            "msg x",
+            "retransmits",
+            "dups dropped",
+        ],
+    );
+    for case in standard_suite(scale)
+        .into_iter()
+        .filter(|c| matches!(c.name, "fib" | "nqueens" | "jacobi" | "sort"))
+    {
+        let clean = case
+            .build_default()
+            .run_sim_preset(npes, MachinePreset::NcubeLike);
+        let clean_pkts = clean.sim.as_ref().expect("sim detail").packets;
+        t.row(vec![
+            case.name.into(),
+            "none".into(),
+            ms(clean.time_ns),
+            "1.00".into(),
+            clean_pkts.to_string(),
+            "1.00".into(),
+            "0".into(),
+            "0".into(),
+        ]);
+        for &(label, drop, stall) in cases {
+            let mut plan = FaultPlan::new(0xC4A11).drop(drop).duplicate(0.01);
+            if stall {
+                plan = plan.stall(Pe(5), SimTime(500_000), SimTime(2_000_000));
+            }
+            let cfg = SimConfig::preset(npes, MachinePreset::NcubeLike).with_faults(plan);
+            let rep = case.build_default().with_reliable(rel).run_sim(cfg);
+            let sim = rep.sim.as_ref().expect("sim detail");
+            assert!(
+                sim.aborted.is_none(),
+                "{} aborted under {label}: {:?}",
+                case.name,
+                sim.aborted
+            );
+            t.row(vec![
+                case.name.into(),
+                label.into(),
+                ms(rep.time_ns),
+                format!("{:.2}", rep.time_ns as f64 / clean.time_ns as f64),
+                sim.packets.to_string(),
+                format!("{:.2}", sim.packets as f64 / clean_pkts as f64),
+                rep.counter_total("retransmits").to_string(),
+                rep.counter_total("dup_dropped").to_string(),
+            ]);
+        }
+    }
+    t.note("per-packet drop/duplicate probabilities; faults injected deterministically from a fixed seed");
+    t.note("time x / msg x are ratios to the fault-free, reliability-off run of the same program");
+    t.note("stall case additionally freezes PE 5 from 0.5 ms to 2.0 ms of simulated time");
+    t.note(format!(
+        "retransmit timeout {} us, seed retry budget {}",
+        rel.timeout.as_nanos() / 1_000,
+        rel.seed_retry_limit
+    ));
+    t
+}
+
 /// Every experiment, in order.
 pub fn all(scale: Scale) -> Vec<Table> {
     vec![
@@ -927,6 +1016,7 @@ pub fn all(scale: Scale) -> Vec<Table> {
         fig6(scale),
         fig7(scale),
         fig8(scale),
+        table_r(scale),
     ]
 }
 
@@ -994,6 +1084,18 @@ mod tests {
             assert_eq!(pair[0][0], pair[1][0], "rows must pair per app");
             assert_eq!(pair[0][1], "off");
             assert_eq!(pair[1][1], "on");
+        }
+    }
+
+    #[test]
+    fn table_r_quick_survives_and_retransmits() {
+        let t = table_r(Scale::Quick);
+        assert_eq!(t.rows.len(), 4 * 5); // 4 apps x (clean + 4 fault cases)
+        for row in &t.rows {
+            if row[1] == "10% drop" {
+                let retx: u64 = row[6].parse().unwrap();
+                assert!(retx > 0, "heavy drop must force retransmissions: {row:?}");
+            }
         }
     }
 

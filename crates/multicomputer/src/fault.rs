@@ -1,0 +1,458 @@
+//! Deterministic fault injection for the simulated multicomputer.
+//!
+//! The 1991 Chare Kernel machines (NCUBE/2, iPSC/2) had unreliable
+//! interconnects papered over by the vendor's message layer. This module
+//! lets the simulator play that adversary on purpose: a [`FaultPlan`]
+//! describes per-link message drop / duplication / extra delay, timed
+//! link outage windows, and per-PE stalls or crashes, all driven by one
+//! seed so a failing run replays exactly. With no plan installed the
+//! simulator takes a `None` fast path and produces byte-identical
+//! reports to a build without this module — fault injection is zero-cost
+//! when off.
+//!
+//! Faults act at the *network* layer: the node program (and the Chare
+//! Kernel's reliable-delivery protocol built on it) sees only the
+//! consequences — missing, repeated or late packets, and silent peers.
+
+use crate::pe::Pe;
+use crate::time::{Cost, SimTime};
+
+/// Deterministic pseudo-random source for fault decisions.
+///
+/// xoshiro256** seeded via SplitMix64 — self-contained so the simulator
+/// stays free of external dependencies. All fault decisions for a run
+/// are a pure function of ([`FaultPlan::seed`], packet routing order),
+/// which the discrete-event simulator fixes, so a seed replays exactly.
+#[derive(Clone, Debug)]
+pub struct FaultRng {
+    s: [u64; 4],
+}
+
+impl FaultRng {
+    /// An rng whose whole stream is determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into four non-zero words.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        FaultRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// True with probability `p` (clamped to [0, 1]).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            // Still consume a draw so enabling a fault class does not
+            // shift the decisions of the others.
+            self.next_u64();
+            return false;
+        }
+        if p >= 1.0 {
+            self.next_u64();
+            return true;
+        }
+        // Map the top 53 bits to [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Uniform draw in `[0, bound)`; 0 when `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            self.next_u64();
+            return 0;
+        }
+        // Widening-multiply range reduction (bias negligible at u64 width).
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A window during which one directed link delivers nothing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkOutage {
+    /// Sending PE.
+    pub from: Pe,
+    /// Receiving PE.
+    pub to: Pe,
+    /// First instant of the outage (inclusive).
+    pub start: SimTime,
+    /// End of the outage (exclusive).
+    pub end: SimTime,
+}
+
+impl LinkOutage {
+    fn covers(&self, from: Pe, to: Pe, now: SimTime) -> bool {
+        self.from == from && self.to == to && self.start <= now && now < self.end
+    }
+}
+
+/// What happens to a PE at its scheduled fault time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PeFault {
+    /// The PE freezes — executes nothing, acks nothing — until the given
+    /// time, then resumes with its queues intact. Models a transient
+    /// hang (page fault storm, OS preemption) the kernel must ride out.
+    Stall {
+        /// The stalled PE.
+        pe: Pe,
+        /// When the stall begins.
+        at: SimTime,
+        /// When the PE resumes (exclusive).
+        until: SimTime,
+    },
+    /// The PE halts permanently; packets addressed to it after this
+    /// instant are black-holed.
+    Crash {
+        /// The crashed PE.
+        pe: Pe,
+        /// When the crash occurs.
+        at: SimTime,
+    },
+}
+
+/// A seeded, fully deterministic description of every fault a simulated
+/// run will experience.
+///
+/// Probabilities apply per routed packet, evaluated in a fixed order
+/// (drop, duplicate, delay) so runs replay from [`seed`](FaultPlan::seed)
+/// alone. Scheduled faults ([`outages`](FaultPlan::outages),
+/// [`pe_faults`](FaultPlan::pe_faults)) fire at their sim times
+/// regardless of the seed.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed for all probabilistic decisions.
+    pub seed: u64,
+    /// Probability a packet is silently dropped in flight.
+    pub drop_prob: f64,
+    /// Probability a delivered packet arrives twice.
+    pub dup_prob: f64,
+    /// Probability a delivered packet is held back by an extra delay
+    /// uniform in `[1, max_extra_delay]`.
+    pub delay_prob: f64,
+    /// Upper bound on the extra delay (ns).
+    pub max_extra_delay: Cost,
+    /// Timed windows during which a directed link drops everything.
+    pub outages: Vec<LinkOutage>,
+    /// Scheduled per-PE stalls and crashes.
+    pub pe_faults: Vec<PeFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            delay_prob: 0.0,
+            max_extra_delay: Cost(0),
+            outages: Vec::new(),
+            pe_faults: Vec::new(),
+        }
+    }
+
+    /// Drop each packet with probability `p`.
+    pub fn drop(mut self, p: f64) -> Self {
+        self.drop_prob = p;
+        self
+    }
+
+    /// Duplicate each delivered packet with probability `p`.
+    pub fn duplicate(mut self, p: f64) -> Self {
+        self.dup_prob = p;
+        self
+    }
+
+    /// Delay each delivered packet with probability `p` by an extra
+    /// uniform `[1, max]` ns.
+    pub fn delay(mut self, p: f64, max: Cost) -> Self {
+        self.delay_prob = p;
+        self.max_extra_delay = max;
+        self
+    }
+
+    /// Black out the directed link `from → to` over `[start, end)`.
+    pub fn outage(mut self, from: Pe, to: Pe, start: SimTime, end: SimTime) -> Self {
+        self.outages.push(LinkOutage {
+            from,
+            to,
+            start,
+            end,
+        });
+        self
+    }
+
+    /// Stall `pe` over `[at, until)`.
+    pub fn stall(mut self, pe: Pe, at: SimTime, until: SimTime) -> Self {
+        self.pe_faults.push(PeFault::Stall { pe, at, until });
+        self
+    }
+
+    /// Crash `pe` at `at`, permanently.
+    pub fn crash(mut self, pe: Pe, at: SimTime) -> Self {
+        self.pe_faults.push(PeFault::Crash { pe, at });
+        self
+    }
+
+    /// True if no fault of any kind can fire.
+    pub fn is_noop(&self) -> bool {
+        self.drop_prob <= 0.0
+            && self.dup_prob <= 0.0
+            && self.delay_prob <= 0.0
+            && self.outages.is_empty()
+            && self.pe_faults.is_empty()
+    }
+}
+
+/// Verdict for one routed packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkVerdict {
+    /// Silently dropped (probabilistic).
+    Drop,
+    /// Dropped because the link is in an outage window.
+    OutageDrop,
+    /// Delivered, possibly late and/or twice.
+    Deliver {
+        /// Extra latency beyond the cost model.
+        extra: Cost,
+        /// Deliver a second copy (after the first).
+        duplicate: bool,
+    },
+}
+
+/// Counters of the faults a run actually experienced; reported in
+/// `SimReport::faults`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Packets dropped by the random-drop process.
+    pub dropped: u64,
+    /// Packets lost to link outage windows.
+    pub outage_dropped: u64,
+    /// Extra copies injected by duplication.
+    pub duplicated: u64,
+    /// Packets held back by extra delay.
+    pub delayed: u64,
+    /// Packets black-holed at crashed PEs.
+    pub crash_dropped: u64,
+    /// Execute dispatches deferred because the PE was stalled.
+    pub stall_deferrals: u64,
+}
+
+impl FaultStats {
+    /// Total packets that never reached their program (any cause).
+    pub fn total_lost(&self) -> u64 {
+        self.dropped + self.outage_dropped + self.crash_dropped
+    }
+}
+
+/// Live per-run fault state owned by the simulator: the plan, its rng,
+/// and the counters.
+#[derive(Clone, Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    rng: FaultRng,
+    /// Observed fault counts (simulator updates these as faults fire).
+    pub stats: FaultStats,
+}
+
+impl FaultState {
+    /// Fresh state for a plan; the rng starts from the plan's seed.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = FaultRng::new(plan.seed);
+        FaultState {
+            plan,
+            rng,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decide the fate of one packet routed `from → to` at `now`,
+    /// updating the stats. Outage windows are checked first (no rng
+    /// consumed — they are scheduled, not probabilistic), then drop /
+    /// duplicate / delay draws in fixed order.
+    pub fn judge(&mut self, from: Pe, to: Pe, now: SimTime) -> LinkVerdict {
+        if self.plan.outages.iter().any(|o| o.covers(from, to, now)) {
+            self.stats.outage_dropped += 1;
+            return LinkVerdict::OutageDrop;
+        }
+        if self.plan.crashed_at(to, now) {
+            self.stats.crash_dropped += 1;
+            return LinkVerdict::Drop;
+        }
+        if self.rng.chance(self.plan.drop_prob) {
+            self.stats.dropped += 1;
+            return LinkVerdict::Drop;
+        }
+        let duplicate = self.rng.chance(self.plan.dup_prob);
+        let delayed = self.rng.chance(self.plan.delay_prob);
+        let extra = if delayed && self.plan.max_extra_delay.0 > 0 {
+            Cost(1 + self.rng.below(self.plan.max_extra_delay.0))
+        } else {
+            Cost(0)
+        };
+        // `duplicated` is counted by the machine when it actually injects
+        // the copy — the draw here may be vetoed for opaque payloads.
+        if extra.0 > 0 {
+            self.stats.delayed += 1;
+        }
+        LinkVerdict::Deliver { extra, duplicate }
+    }
+
+    /// If `pe` is stalled at `now`, the time it resumes.
+    pub fn stalled_until(&self, pe: Pe, now: SimTime) -> Option<SimTime> {
+        self.plan.pe_faults.iter().find_map(|f| match *f {
+            PeFault::Stall { pe: p, at, until } if p == pe && at <= now && now < until => {
+                Some(until)
+            }
+            _ => None,
+        })
+    }
+
+    /// True if `pe` has crashed at or before `now`.
+    pub fn crashed(&self, pe: Pe, now: SimTime) -> bool {
+        self.plan.crashed_at(pe, now)
+    }
+}
+
+impl FaultPlan {
+    fn crashed_at(&self, pe: Pe, now: SimTime) -> bool {
+        self.pe_faults
+            .iter()
+            .any(|f| matches!(*f, PeFault::Crash { pe: p, at } if p == pe && at <= now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = FaultRng::new(42);
+        let mut b = FaultRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = FaultRng::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn chance_extremes_consume_draws() {
+        let mut a = FaultRng::new(7);
+        assert!(!a.chance(0.0));
+        assert!(a.chance(1.0));
+        let mut b = FaultRng::new(7);
+        b.next_u64();
+        b.next_u64();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn chance_rate_roughly_matches() {
+        let mut rng = FaultRng::new(1);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn below_bounds() {
+        let mut rng = FaultRng::new(9);
+        for bound in [1u64, 2, 10, 1000] {
+            for _ in 0..100 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+        assert_eq!(rng.below(0), 0);
+    }
+
+    #[test]
+    fn judge_replays_from_seed() {
+        let plan = FaultPlan::new(0xFA17).drop(0.1).duplicate(0.05).delay(0.2, Cost(500));
+        let mut a = FaultState::new(plan.clone());
+        let mut b = FaultState::new(plan);
+        for i in 0..500u64 {
+            let from = Pe((i % 4) as u32);
+            let to = Pe(((i + 1) % 4) as u32);
+            assert_eq!(a.judge(from, to, SimTime(i)), b.judge(from, to, SimTime(i)));
+        }
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn outage_window_drops_only_inside() {
+        let plan =
+            FaultPlan::new(0).outage(Pe(0), Pe(1), SimTime(100), SimTime(200));
+        let mut st = FaultState::new(plan);
+        assert!(matches!(
+            st.judge(Pe(0), Pe(1), SimTime(150)),
+            LinkVerdict::OutageDrop
+        ));
+        assert!(matches!(
+            st.judge(Pe(0), Pe(1), SimTime(200)),
+            LinkVerdict::Deliver { .. }
+        ));
+        // Reverse direction unaffected.
+        assert!(matches!(
+            st.judge(Pe(1), Pe(0), SimTime(150)),
+            LinkVerdict::Deliver { .. }
+        ));
+        assert_eq!(st.stats.outage_dropped, 1);
+    }
+
+    #[test]
+    fn stall_and_crash_queries() {
+        let plan = FaultPlan::new(0)
+            .stall(Pe(2), SimTime(10), SimTime(20))
+            .crash(Pe(3), SimTime(50));
+        let st = FaultState::new(plan);
+        assert_eq!(st.stalled_until(Pe(2), SimTime(15)), Some(SimTime(20)));
+        assert_eq!(st.stalled_until(Pe(2), SimTime(20)), None);
+        assert_eq!(st.stalled_until(Pe(1), SimTime(15)), None);
+        assert!(!st.crashed(Pe(3), SimTime(49)));
+        assert!(st.crashed(Pe(3), SimTime(50)));
+        assert!(st.crashed(Pe(3), SimTime(1000)));
+    }
+
+    #[test]
+    fn crashed_destination_black_holes() {
+        let mut st = FaultState::new(FaultPlan::new(0).crash(Pe(1), SimTime(5)));
+        assert!(matches!(
+            st.judge(Pe(0), Pe(1), SimTime(6)),
+            LinkVerdict::Drop
+        ));
+        assert_eq!(st.stats.crash_dropped, 1);
+    }
+
+    #[test]
+    fn noop_plan_detected() {
+        assert!(FaultPlan::new(1).is_noop());
+        assert!(!FaultPlan::new(1).drop(0.01).is_noop());
+        assert!(!FaultPlan::new(1).crash(Pe(0), SimTime(0)).is_noop());
+    }
+}

@@ -42,20 +42,26 @@
 //! are ignored.
 
 pub mod cost;
+pub mod fault;
 pub mod pe;
 pub mod program;
 pub mod sim;
 pub mod stats;
+#[cfg(feature = "threads")]
 pub mod thread;
 pub mod time;
 pub mod topology;
 pub mod trace;
 
 pub use cost::{CostModel, MachinePreset};
+pub use fault::{FaultPlan, FaultStats, LinkOutage, PeFault};
 pub use pe::Pe;
-pub use program::{FnFactory, NetCtx, NodeFactory, NodeProgram, Packet, Payload, StepKind};
-pub use sim::{SimConfig, SimMachine, SimReport};
+pub use program::{
+    FnFactory, NetCtx, NodeFactory, NodeProgram, Packet, Payload, Replayable, StepKind,
+};
+pub use sim::{AbortReason, SimConfig, SimMachine, SimReport};
 pub use stats::{imbalance, NodeStats, StatSummary};
+#[cfg(feature = "threads")]
 pub use thread::{ThreadConfig, ThreadMachine, ThreadReport};
 pub use time::{Cost, SimTime};
 pub use trace::{render_profile, utilization_profile, TraceSpan};

@@ -8,6 +8,7 @@
 //! machine-independent, mirroring the paper's portable machine layer.
 
 use std::any::Any;
+use std::sync::Arc;
 
 use crate::pe::Pe;
 use crate::stats::NodeStats;
@@ -30,6 +31,36 @@ pub enum StepKind {
 /// preserves nonshared-memory semantics even though both backends run in
 /// one address space.
 pub type Payload = Box<dyn Any + Send>;
+
+/// A wire payload the network may deliver more than once.
+///
+/// Payloads are normally moved, so a packet can only arrive once. A
+/// sender that wraps its payload in `Replayable` instead ships a
+/// generator; the machine materializes one copy per delivery (the node
+/// program never sees the wrapper). This is what lets the fault layer
+/// duplicate packets honestly — duplication is skipped for opaque
+/// payloads — and what a retransmitting protocol uses so the same
+/// logical message can cross the wire repeatedly.
+pub struct Replayable(pub Arc<dyn Fn() -> Payload + Send + Sync>);
+
+impl Replayable {
+    /// Wrap a generator closure.
+    pub fn wrap(make: impl Fn() -> Payload + Send + Sync + 'static) -> Payload {
+        Box::new(Replayable(Arc::new(make)))
+    }
+
+    /// Materialize one delivery of `payload`: unwrap a `Replayable` into
+    /// a fresh copy, pass anything else through. Machine backends call
+    /// this exactly once per delivered packet.
+    pub fn materialize(payload: Payload) -> Payload {
+        if payload.is::<Replayable>() {
+            let r = payload.downcast::<Replayable>().expect("checked is::");
+            (r.0)()
+        } else {
+            payload
+        }
+    }
+}
 
 /// A message in flight between two PEs.
 pub struct Packet {
@@ -84,6 +115,13 @@ pub trait NetCtx {
     /// Store the program's result where the caller of `run` can retrieve
     /// it. Later deposits overwrite earlier ones.
     fn deposit(&mut self, result: Payload);
+
+    /// Request that [`NodeProgram::alarm`] be invoked on this node once,
+    /// `after` the current handler ends. A later call within the same
+    /// handler replaces an earlier one. Protocols with timeouts
+    /// (retransmission, failure suspicion) are built on this. Backends
+    /// without timer support ignore the request.
+    fn set_alarm(&mut self, _after: Cost) {}
 }
 
 /// The per-PE half of a message-driven runtime.
@@ -111,6 +149,11 @@ pub trait NodeProgram: Send {
 
     /// Whether a call to `step` would find runnable work.
     fn has_work(&self) -> bool;
+
+    /// A timer requested through [`NetCtx::set_alarm`] has fired. Runs
+    /// like a handler: it may send, charge time and set further alarms.
+    /// Default: ignore.
+    fn alarm(&mut self, _net: &mut dyn NetCtx) {}
 
     /// Number of queued runnable messages (for load sampling / figures).
     fn backlog(&self) -> usize {

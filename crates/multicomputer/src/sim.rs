@@ -32,8 +32,9 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::cost::CostModel;
+use crate::fault::{FaultPlan, FaultState, FaultStats, LinkVerdict};
 use crate::pe::Pe;
-use crate::program::{NetCtx, NodeFactory, NodeProgram, Packet, Payload, StepKind};
+use crate::program::{NetCtx, NodeFactory, NodeProgram, Packet, Payload, Replayable, StepKind};
 use crate::trace::TraceSpan;
 use crate::stats::NodeStats;
 use crate::time::{Cost, SimTime};
@@ -57,6 +58,9 @@ pub struct SimConfig {
     /// Record one [`TraceSpan`] per executed step (for utilization
     /// profiles — the mini-Projections view).
     pub trace: bool,
+    /// Seeded fault plan; `None` (the default) leaves the network
+    /// perfect and costs nothing.
+    pub fault: Option<FaultPlan>,
 }
 
 impl SimConfig {
@@ -71,6 +75,7 @@ impl SimConfig {
             sample_interval: None,
             max_events: u64::MAX,
             trace: false,
+            fault: None,
         }
     }
 
@@ -91,6 +96,30 @@ impl SimConfig {
         self.trace = true;
         self
     }
+
+    /// Install a fault plan (see [`FaultPlan`]).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Cap events at `limit`; past it the run ends with
+    /// [`AbortReason::MaxEvents`] instead of running forever.
+    pub fn with_max_events(mut self, limit: u64) -> Self {
+        self.max_events = limit;
+        self
+    }
+}
+
+/// Why a run ended early without stopping or quiescing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The event count exceeded [`SimConfig::max_events`] — a runaway
+    /// program, or one stranded by an unrecovered fault.
+    MaxEvents {
+        /// The configured limit.
+        limit: u64,
+    },
 }
 
 /// Result of a simulated run.
@@ -117,6 +146,11 @@ pub struct SimReport {
     pub samples: Vec<(SimTime, Vec<usize>)>,
     /// Execution spans, if tracing was enabled.
     pub timeline: Vec<TraceSpan>,
+    /// Set if the run was cut short by a safety valve rather than ending
+    /// by `stop` or quiescence.
+    pub aborted: Option<AbortReason>,
+    /// Fault counters, present iff a [`FaultPlan`] was installed.
+    pub faults: Option<FaultStats>,
 }
 
 impl SimReport {
@@ -151,6 +185,7 @@ impl SimReport {
 enum EventKind {
     Arrival { to: Pe, pkt: Packet },
     Execute { pe: Pe },
+    Alarm { pe: Pe },
     Sample,
 }
 
@@ -187,6 +222,22 @@ struct SimCtx {
     outbox: Vec<(Pe, u32, Payload)>,
     stop: bool,
     deposit: Option<Payload>,
+    alarm: Option<Cost>,
+}
+
+impl SimCtx {
+    fn at(me: Pe, npes: usize, now: SimTime) -> Self {
+        SimCtx {
+            me,
+            npes,
+            now,
+            charged: Cost::ZERO,
+            outbox: Vec::new(),
+            stop: false,
+            deposit: None,
+            alarm: None,
+        }
+    }
 }
 
 impl NetCtx for SimCtx {
@@ -211,6 +262,9 @@ impl NetCtx for SimCtx {
     }
     fn deposit(&mut self, result: Payload) {
         self.deposit = Some(result);
+    }
+    fn set_alarm(&mut self, after: Cost) {
+        self.alarm = Some(after);
     }
 }
 
@@ -239,6 +293,8 @@ pub struct SimMachine<N: NodeProgram> {
     stopped: bool,
     samples: Vec<(SimTime, Vec<usize>)>,
     timeline: Vec<TraceSpan>,
+    fault: Option<FaultState>,
+    aborted: Option<AbortReason>,
 }
 
 impl<N: NodeProgram> SimMachine<N> {
@@ -246,9 +302,12 @@ impl<N: NodeProgram> SimMachine<N> {
     pub fn new<F: NodeFactory<Node = N>>(cfg: SimConfig, factory: &F) -> Self {
         let npes = cfg.npes;
         let nodes = Pe::all(npes).map(|pe| factory.build(pe, npes)).collect();
+        let fault = cfg.fault.clone().map(FaultState::new);
         SimMachine {
             cfg,
             nodes,
+            fault,
+            aborted: None,
             heap: BinaryHeap::new(),
             seq: 0,
             busy_until: vec![SimTime::ZERO; npes],
@@ -290,7 +349,8 @@ impl<N: NodeProgram> SimMachine<N> {
     }
 
     /// Route a message: compute departure (NIC + bus serialization) and
-    /// arrival times, then schedule the arrival event.
+    /// arrival times, consult the fault plan, then schedule the arrival
+    /// event(s).
     fn route(&mut self, from: Pe, to: Pe, bytes: u32, payload: Payload, ready: SimTime) {
         let hops = self.cfg.topology.distance(from, to, self.cfg.npes);
         let inj = self.cfg.cost.injection(bytes, hops);
@@ -300,7 +360,47 @@ impl<N: NodeProgram> SimMachine<N> {
             self.bus_free = depart + inj;
         }
         self.nic_free[from.index()] = depart + inj;
-        let arrive = depart + self.cfg.cost.latency(bytes, hops);
+        let mut arrive = depart + self.cfg.cost.latency(bytes, hops);
+        // The send occupied the NIC/bus either way; faults act in flight.
+        let mut duplicate = false;
+        if hops > 0 {
+            if let Some(fs) = &mut self.fault {
+                match fs.judge(from, to, depart) {
+                    LinkVerdict::Drop | LinkVerdict::OutageDrop => return,
+                    LinkVerdict::Deliver {
+                        extra,
+                        duplicate: dup,
+                    } => {
+                        arrive = arrive + extra;
+                        duplicate = dup;
+                    }
+                }
+            }
+        }
+        if duplicate {
+            // Only replayable payloads can arrive twice; the copy takes
+            // one extra network traversal.
+            if let Some(r) = payload.downcast_ref::<Replayable>() {
+                let copy = std::sync::Arc::clone(&r.0);
+                let again = arrive + self.cfg.cost.latency(bytes, hops);
+                if let Some(fs) = &mut self.fault {
+                    fs.stats.duplicated += 1;
+                }
+                self.packets += 1;
+                self.bytes += bytes as u64;
+                self.push(
+                    again,
+                    EventKind::Arrival {
+                        to,
+                        pkt: Packet {
+                            from,
+                            bytes,
+                            payload: Box::new(Replayable(copy)),
+                        },
+                    },
+                );
+            }
+        }
         self.packets += 1;
         self.bytes += bytes as u64;
         self.push(
@@ -321,15 +421,7 @@ impl<N: NodeProgram> SimMachine<N> {
     pub fn run(mut self) -> SimReport {
         // Boot every node at t = 0. Boot-time sends depart at t = 0.
         for pe in Pe::all(self.cfg.npes) {
-            let mut ctx = SimCtx {
-                me: pe,
-                npes: self.cfg.npes,
-                now: SimTime::ZERO,
-                charged: Cost::ZERO,
-                outbox: Vec::new(),
-                stop: false,
-                deposit: None,
-            };
+            let mut ctx = SimCtx::at(pe, self.cfg.npes, SimTime::ZERO);
             self.nodes[pe.index()].boot(&mut ctx);
             let end = SimTime::ZERO + ctx.charged;
             self.busy_until[pe.index()] = end;
@@ -342,6 +434,9 @@ impl<N: NodeProgram> SimMachine<N> {
             }
             for (to, bytes, payload) in ctx.outbox {
                 self.route(pe, to, bytes, payload, end);
+            }
+            if let Some(after) = ctx.alarm {
+                self.push(end + after, EventKind::Alarm { pe });
             }
         }
         for pe in Pe::all(self.cfg.npes) {
@@ -359,32 +454,52 @@ impl<N: NodeProgram> SimMachine<N> {
             };
             self.events += 1;
             if self.events > self.cfg.max_events {
-                panic!(
-                    "simulation exceeded max_events = {} (runaway program?)",
-                    self.cfg.max_events
-                );
+                // Structured abort instead of a panic: the caller gets a
+                // full report with `aborted` set and can inspect how far
+                // the run got.
+                self.aborted = Some(AbortReason::MaxEvents {
+                    limit: self.cfg.max_events,
+                });
+                break;
             }
             now = SimTime(ev.time);
             match ev.kind {
                 EventKind::Arrival { to, pkt } => {
+                    if let Some(fs) = &mut self.fault {
+                        if fs.crashed(to, now) {
+                            // A dead PE's NIC accepts nothing.
+                            fs.stats.crash_dropped += 1;
+                            continue;
+                        }
+                    }
+                    let pkt = Packet {
+                        from: pkt.from,
+                        bytes: pkt.bytes,
+                        payload: Replayable::materialize(pkt.payload),
+                    };
                     self.nodes[to.index()].incoming(pkt);
                     self.schedule_exec(to, now);
                 }
                 EventKind::Execute { pe } => {
+                    if let Some(fs) = &mut self.fault {
+                        if fs.crashed(pe, now) {
+                            self.exec_scheduled[pe.index()] = false;
+                            continue;
+                        }
+                        if let Some(until) = fs.stalled_until(pe, now) {
+                            // Frozen: hold the dispatch until the PE
+                            // resumes (exec_scheduled stays set).
+                            fs.stats.stall_deferrals += 1;
+                            self.push(until, EventKind::Execute { pe });
+                            continue;
+                        }
+                    }
                     self.exec_scheduled[pe.index()] = false;
                     let node = &mut self.nodes[pe.index()];
                     if !node.has_work() {
                         continue;
                     }
-                    let mut ctx = SimCtx {
-                        me: pe,
-                        npes: self.cfg.npes,
-                        now,
-                        charged: Cost::ZERO,
-                        outbox: Vec::new(),
-                        stop: false,
-                        deposit: None,
-                    };
+                    let mut ctx = SimCtx::at(pe, self.cfg.npes, now);
                     let ran = node.step(&mut ctx);
                     let cost = match ran {
                         Some(StepKind::User) => self.cfg.cost.dispatch + ctx.charged,
@@ -413,6 +528,47 @@ impl<N: NodeProgram> SimMachine<N> {
                     }
                     for (to, bytes, payload) in ctx.outbox {
                         self.route(pe, to, bytes, payload, end);
+                    }
+                    if let Some(after) = ctx.alarm {
+                        self.push(end + after, EventKind::Alarm { pe });
+                    }
+                    if !self.stopped {
+                        self.schedule_exec(pe, end);
+                    } else {
+                        break;
+                    }
+                }
+                EventKind::Alarm { pe } => {
+                    if let Some(fs) = &mut self.fault {
+                        if fs.crashed(pe, now) {
+                            continue;
+                        }
+                        if let Some(until) = fs.stalled_until(pe, now) {
+                            // A frozen PE's timers fire once it thaws.
+                            self.push(until, EventKind::Alarm { pe });
+                            continue;
+                        }
+                    }
+                    // Serialize with handler execution: the alarm handler
+                    // starts once the PE is free.
+                    let start = now.max(self.busy_until[pe.index()]);
+                    let mut ctx = SimCtx::at(pe, self.cfg.npes, start);
+                    self.nodes[pe.index()].alarm(&mut ctx);
+                    let end = start + ctx.charged;
+                    self.busy_until[pe.index()] = end;
+                    self.busy[pe.index()] += ctx.charged;
+                    if let Some(r) = ctx.deposit {
+                        self.result = Some(r);
+                    }
+                    if ctx.stop {
+                        self.stopped = true;
+                        now = end;
+                    }
+                    for (to, bytes, payload) in ctx.outbox {
+                        self.route(pe, to, bytes, payload, end);
+                    }
+                    if let Some(after) = ctx.alarm {
+                        self.push(end + after, EventKind::Alarm { pe });
                     }
                     if !self.stopped {
                         self.schedule_exec(pe, end);
@@ -446,9 +602,11 @@ impl<N: NodeProgram> SimMachine<N> {
             packets: self.packets,
             bytes: self.bytes,
             events: self.events,
-            quiesced: !self.stopped,
+            quiesced: !self.stopped && self.aborted.is_none(),
             samples: self.samples,
             timeline: self.timeline,
+            aborted: self.aborted,
+            faults: self.fault.map(|fs| fs.stats),
         }
     }
 }
@@ -624,12 +782,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "max_events")]
-    fn runaway_program_hits_event_limit() {
-        let mut cfg = ring_cfg(2);
-        cfg.max_events = 100;
+    fn runaway_program_aborts_with_structured_report() {
+        let cfg = ring_cfg(2).with_max_events(100);
         // Relay with enormous lap count never finishes within 100 events.
-        let _ = SimMachine::run_factory(cfg, &relay_factory(u32::MAX, Cost::ZERO));
+        let rep = SimMachine::run_factory(cfg, &relay_factory(u32::MAX, Cost::ZERO));
+        assert_eq!(rep.aborted, Some(AbortReason::MaxEvents { limit: 100 }));
+        assert!(!rep.quiesced, "an aborted run did not quiesce");
+        assert!(rep.events > 0 && rep.events <= 101);
+    }
+
+    #[test]
+    fn event_limit_not_hit_reports_none() {
+        let rep = SimMachine::run_factory(ring_cfg(4), &relay_factory(2, Cost::ZERO));
+        assert_eq!(rep.aborted, None);
+        assert!(rep.faults.is_none(), "no plan installed");
     }
 
     #[test]
@@ -637,6 +803,178 @@ mod tests {
         let rep = SimMachine::run_factory(ring_cfg(4), &relay_factory(3, Cost::micros(10)));
         let u = rep.utilization();
         assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+    }
+
+    #[test]
+    fn faults_off_is_byte_identical_to_no_fault_field() {
+        // The zero-cost-when-off claim: a run with `fault: None` must be
+        // indistinguishable from the pre-fault-layer simulator.
+        let base = SimMachine::run_factory(ring_cfg(8), &relay_factory(4, Cost::micros(2)));
+        let mut cfg = ring_cfg(8);
+        cfg.fault = None;
+        let same = SimMachine::run_factory(cfg, &relay_factory(4, Cost::micros(2)));
+        assert_eq!(base.end_time, same.end_time);
+        assert_eq!(base.events, same.events);
+        assert_eq!(base.packets, same.packets);
+        assert_eq!(base.bytes, same.bytes);
+    }
+
+    #[test]
+    fn noop_fault_plan_changes_nothing_but_reports_stats() {
+        let base = SimMachine::run_factory(ring_cfg(8), &relay_factory(4, Cost::micros(2)));
+        let cfg = ring_cfg(8).with_faults(crate::fault::FaultPlan::new(1));
+        let rep = SimMachine::run_factory(cfg, &relay_factory(4, Cost::micros(2)));
+        assert_eq!(base.end_time, rep.end_time);
+        assert_eq!(base.events, rep.events);
+        let stats = rep.faults.expect("plan installed");
+        assert_eq!(stats, FaultStats::default());
+    }
+
+    #[test]
+    fn same_fault_seed_replays_identically() {
+        let cfg = || {
+            ring_cfg(8).with_faults(
+                crate::fault::FaultPlan::new(0xD00D)
+                    .drop(0.0) // drops would strand the unreliable relay
+                    .delay(0.3, Cost::micros(40)),
+            )
+        };
+        let a = SimMachine::run_factory(cfg(), &relay_factory(4, Cost::micros(2)));
+        let b = SimMachine::run_factory(cfg(), &relay_factory(4, Cost::micros(2)));
+        assert_eq!(a.end_time, b.end_time);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.faults, b.faults);
+        assert!(a.faults.as_ref().unwrap().delayed > 0, "delays fired");
+    }
+
+    #[test]
+    fn dropped_packet_strands_unreliable_relay() {
+        // Drop everything: the boot-time send vanishes, nothing else
+        // moves, and the sim quiesces with a drop on the books.
+        let cfg = ring_cfg(4).with_faults(crate::fault::FaultPlan::new(3).drop(1.0));
+        let rep = SimMachine::run_factory(cfg, &relay_factory(2, Cost::ZERO));
+        assert!(rep.quiesced, "nothing left to do once the packet is gone");
+        let stats = rep.faults.expect("plan installed");
+        assert_eq!(stats.dropped, 1);
+    }
+
+    #[test]
+    fn stall_defers_execution_but_run_completes() {
+        let stall_plan = crate::fault::FaultPlan::new(5).stall(
+            Pe(1),
+            SimTime::ZERO,
+            SimTime(Cost::micros(500).as_nanos()),
+        );
+        let plain = SimMachine::run_factory(ring_cfg(4), &relay_factory(3, Cost::micros(10)));
+        let cfg = ring_cfg(4).with_faults(stall_plan);
+        let mut rep = SimMachine::run_factory(cfg, &relay_factory(3, Cost::micros(10)));
+        assert_eq!(rep.take_result::<u64>(), Some(12), "stall only delays");
+        assert!(rep.end_time > plain.end_time, "the stall cost time");
+        assert!(rep.faults.unwrap().stall_deferrals > 0);
+    }
+
+    #[test]
+    fn crashed_pe_black_holes_the_relay() {
+        // PE 1 dies immediately; the token sent to it at boot is lost.
+        let cfg =
+            ring_cfg(4).with_faults(crate::fault::FaultPlan::new(7).crash(Pe(1), SimTime::ZERO));
+        let rep = SimMachine::run_factory(cfg, &relay_factory(2, Cost::ZERO));
+        assert!(rep.quiesced);
+        assert!(rep.faults.unwrap().crash_dropped >= 1);
+    }
+
+    #[test]
+    fn outage_window_blocks_the_link() {
+        // Ring 0→1 link dead for the whole run: the relay never advances.
+        let cfg = ring_cfg(4).with_faults(crate::fault::FaultPlan::new(0).outage(
+            Pe(0),
+            Pe(1),
+            SimTime::ZERO,
+            SimTime(u64::MAX),
+        ));
+        let rep = SimMachine::run_factory(cfg, &relay_factory(2, Cost::ZERO));
+        assert!(rep.quiesced);
+        assert_eq!(rep.faults.unwrap().outage_dropped, 1);
+    }
+
+    /// Node that sends itself a replayable packet and counts deliveries —
+    /// exercises duplication and the alarm plumbing.
+    struct DupCounter {
+        pe: Pe,
+        got: u64,
+        alarms: u64,
+        queue: std::collections::VecDeque<Packet>,
+    }
+
+    impl NodeProgram for DupCounter {
+        fn boot(&mut self, net: &mut dyn NetCtx) {
+            if self.pe == Pe::ZERO {
+                net.send(Pe(1), 16, crate::program::Replayable::wrap(|| Box::new(1u64)));
+                net.set_alarm(Cost::micros(100));
+            }
+        }
+        fn incoming(&mut self, pkt: Packet) {
+            self.queue.push_back(pkt);
+        }
+        fn step(&mut self, _net: &mut dyn NetCtx) -> Option<StepKind> {
+            let pkt = self.queue.pop_front()?;
+            let v = *pkt.payload.downcast::<u64>().expect("materialized payload");
+            self.got += v;
+            Some(StepKind::User)
+        }
+        fn has_work(&self) -> bool {
+            !self.queue.is_empty()
+        }
+        fn alarm(&mut self, net: &mut dyn NetCtx) {
+            self.alarms += 1;
+            if self.alarms < 3 {
+                net.set_alarm(Cost::micros(100));
+            }
+        }
+        fn stats(&self) -> NodeStats {
+            let mut s = NodeStats::new();
+            s.push("got", self.got);
+            s.push("alarms", self.alarms);
+            s
+        }
+    }
+
+    fn dup_factory() -> FnFactory<impl Fn(Pe, usize) -> DupCounter> {
+        FnFactory(|pe, _| DupCounter {
+            pe,
+            got: 0,
+            alarms: 0,
+            queue: std::collections::VecDeque::new(),
+        })
+    }
+
+    #[test]
+    fn replayable_payload_is_materialized_once_without_faults() {
+        let cfg = SimConfig::preset(2, MachinePreset::Ideal);
+        let rep = SimMachine::run_factory(cfg, &FnFactory(|pe, _| DupCounter {
+            pe,
+            got: 0,
+            alarms: 9, // suppress further alarms
+            queue: std::collections::VecDeque::new(),
+        }));
+        assert_eq!(rep.node_stats[1].get("got"), Some(1));
+    }
+
+    #[test]
+    fn duplication_delivers_replayable_twice() {
+        let cfg = SimConfig::preset(2, MachinePreset::Ideal)
+            .with_faults(crate::fault::FaultPlan::new(11).duplicate(1.0));
+        let rep = SimMachine::run_factory(cfg, &dup_factory());
+        assert_eq!(rep.node_stats[1].get("got"), Some(2), "copy delivered");
+        assert_eq!(rep.faults.unwrap().duplicated, 1);
+    }
+
+    #[test]
+    fn alarms_fire_and_reschedule() {
+        let cfg = SimConfig::preset(2, MachinePreset::Ideal);
+        let rep = SimMachine::run_factory(cfg, &dup_factory());
+        assert_eq!(rep.node_stats[0].get("alarms"), Some(3));
+        assert!(rep.quiesced, "alarm chain terminates");
     }
 
     #[test]

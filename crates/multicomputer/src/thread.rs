@@ -21,7 +21,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
 use crate::pe::Pe;
-use crate::program::{NetCtx, NodeFactory, NodeProgram, Packet, Payload};
+use crate::program::{NetCtx, NodeFactory, NodeProgram, Packet, Payload, Replayable};
 use crate::stats::NodeStats;
 use crate::time::Cost;
 
@@ -132,6 +132,13 @@ impl NetCtx for ThreadCtx {
 /// stop flag.
 const IDLE_POLL: Duration = Duration::from_micros(200);
 
+/// Resolve replayable payload generators into concrete payloads before a
+/// node sees them (the simulator does the same at arrival time).
+fn deliver<N: NodeProgram>(node: &mut N, mut pkt: Packet) {
+    pkt.payload = Replayable::materialize(pkt.payload);
+    node.incoming(pkt);
+}
+
 fn pe_loop<N: NodeProgram>(mut node: N, rx: Receiver<Packet>, mut ctx: ThreadCtx) -> NodeStats {
     node.boot(&mut ctx);
     loop {
@@ -140,13 +147,13 @@ fn pe_loop<N: NodeProgram>(mut node: N, rx: Receiver<Packet>, mut ctx: ThreadCtx
         }
         // Drain arrivals first so priorities act on everything available.
         while let Ok(pkt) = rx.try_recv() {
-            node.incoming(pkt);
+            deliver(&mut node, pkt);
         }
         if node.has_work() {
             let _ = node.step(&mut ctx);
         } else {
             match rx.recv_timeout(IDLE_POLL) {
-                Ok(pkt) => node.incoming(pkt),
+                Ok(pkt) => deliver(&mut node, pkt),
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => break,
             }

@@ -1,0 +1,237 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset this workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, throughput annotation, the
+//! `criterion_group!` / `criterion_main!` macros — as a plain wall-clock
+//! harness printing mean ns/iter. No statistics, plots or baselines;
+//! enough to run `cargo bench` offline and compare runs by eye.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a group (reported alongside timings).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The timing loop handle passed to bench closures.
+pub struct Bencher {
+    /// Measured mean nanoseconds per iteration (filled by `iter`).
+    elapsed_ns: f64,
+    iters: u64,
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly and record the mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget elapses (at least once).
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        // Measurement: as many iterations as fit the budget, at least 1.
+        let budget_ns = self.measurement.as_nanos() as f64;
+        let planned = ((budget_ns / per_iter.max(1.0)) as u64).max(1);
+        let start = Instant::now();
+        for _ in 0..planned {
+            black_box(routine());
+        }
+        let total = start.elapsed().as_nanos() as f64;
+        self.elapsed_ns = total / planned as f64;
+        self.iters = planned;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    warm_up: Duration,
+    measurement: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples (kept for API compatibility; this harness takes
+    /// one averaged sample).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            elapsed_ns: 0.0,
+            iters: 0,
+            measurement: self.measurement,
+            warm_up: self.warm_up,
+        };
+        f(&mut b);
+        let mut line = format!(
+            "{}/{}: {:.0} ns/iter ({} iters)",
+            self.name, id, b.elapsed_ns, b.iters
+        );
+        if let Some(t) = self.throughput {
+            let (n, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            if n > 0 && b.elapsed_ns > 0.0 {
+                let per_sec = n as f64 * 1e9 / b.elapsed_ns;
+                line.push_str(&format!(", {per_sec:.0} {unit}/s"));
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) {
+        self.run_one(&id.to_string(), f);
+    }
+
+    /// Benchmark a closure over one input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.run_one(&id.id.clone(), |b| f(b, input));
+    }
+
+    /// End the group (prints nothing extra in this harness).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Honor command-line arguments (no-op in this harness).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) {
+        let name = id.to_string();
+        let mut g = self.benchmark_group(name.clone());
+        g.name = name.clone();
+        // Reuse the group printer with an empty group prefix.
+        g.name = String::from("bench");
+        g.run_one(&name, f);
+        g.finish();
+    }
+}
+
+/// Collect benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 4).id, "f/4");
+        assert_eq!(BenchmarkId::from_parameter("acwn").id, "acwn");
+    }
+}

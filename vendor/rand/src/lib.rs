@@ -1,0 +1,246 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim provides exactly the API subset the workspace uses: `StdRng`,
+//! [`SeedableRng::seed_from_u64`], and [`Rng::random_range`] over
+//! integer and float ranges. The generator is xoshiro256** seeded via
+//! SplitMix64 — high quality and deterministic, though its stream does
+//! not match upstream `rand`'s ChaCha12-based `StdRng` (nothing in this
+//! repository depends on the exact stream, only on seed-determinism).
+
+use std::ops::Range;
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Derive a full seed state from one `u64` (SplitMix64 expansion,
+    /// mirroring upstream's documented behavior).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// SplitMix64 step: the standard seed-expansion generator.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Sampling interface: everything callers do with a generator.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (integer or float ranges).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: Into<RangeAny<T>>,
+        Self: Sized,
+    {
+        let r: RangeAny<T> = range.into();
+        T::sample(self, r.start, r.end)
+    }
+
+    /// A uniformly random value of a samplable type.
+    fn random<T: Fill>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::fill(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::fill(self) < p
+    }
+}
+
+/// A half-open range with the bound type erased to start/end values.
+pub struct RangeAny<T> {
+    start: T,
+    end: T,
+}
+
+impl<T> From<Range<T>> for RangeAny<T> {
+    fn from(r: Range<T>) -> Self {
+        RangeAny {
+            start: r.start,
+            end: r.end,
+        }
+    }
+}
+
+/// Types [`Rng::random_range`] can sample uniformly.
+pub trait SampleUniform: Sized {
+    /// A uniform sample in `[start, end)`.
+    fn sample<G: Rng>(g: &mut G, start: Self, end: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<G: Rng>(g: &mut G, start: Self, end: Self) -> Self {
+                assert!(start < end, "random_range: empty range");
+                let span = (end as i128 - start as i128) as u128;
+                // Widening-multiply rejection sampling (Lemire): unbiased.
+                loop {
+                    let x = g.next_u64() as u128;
+                    let m = x * span;
+                    let lo = m as u64 as u128;
+                    if lo >= span && (u64::MAX as u128 + 1 - lo) < span {
+                        continue;
+                    }
+                    let hi = (m >> 64) as i128;
+                    return (start as i128 + hi) as $t;
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample<G: Rng>(g: &mut G, start: Self, end: Self) -> Self {
+        assert!(start < end, "random_range: empty range");
+        let unit = (g.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        start + unit * (end - start)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample<G: Rng>(g: &mut G, start: Self, end: Self) -> Self {
+        f64::sample(g, start as f64, end as f64) as f32
+    }
+}
+
+/// Types [`Rng::random`] can produce.
+pub trait Fill {
+    /// A uniformly random value.
+    fn fill<G: Rng>(g: &mut G) -> Self;
+}
+
+impl Fill for bool {
+    fn fill<G: Rng>(g: &mut G) -> Self {
+        g.next_u64() & 1 == 1
+    }
+}
+
+impl Fill for u64 {
+    fn fill<G: Rng>(g: &mut G) -> Self {
+        g.next_u64()
+    }
+}
+
+impl Fill for u32 {
+    fn fill<G: Rng>(g: &mut G) -> Self {
+        (g.next_u64() >> 32) as u32
+    }
+}
+
+impl Fill for i64 {
+    fn fill<G: Rng>(g: &mut G) -> Self {
+        g.next_u64() as i64
+    }
+}
+
+impl Fill for f64 {
+    fn fill<G: Rng>(g: &mut G) -> Self {
+        (g.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256**.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut state);
+            }
+            // An all-zero state would be a fixed point; SplitMix64 cannot
+            // produce four zero outputs in a row, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias: the small fast generator is the same engine here.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut g = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u32 = g.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let f: f64 = g.random_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let i: i64 = g.random_range(-100i64..100);
+            assert!((-100..100).contains(&i));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut g = StdRng::seed_from_u64(42);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[g.random_range(0..8usize)] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "{counts:?}");
+        }
+    }
+}
