@@ -68,6 +68,7 @@ pub mod registry;
 pub mod reliable;
 pub mod shared;
 pub mod stats;
+pub mod trace;
 
 pub use balance::BalanceStrategy;
 pub use bcast::BroadcastMode;
@@ -85,6 +86,7 @@ pub use shared::{
     Acc, AccResult, Accum, MaxF64, MinBoundU64, MinU64, Mono, MonoVar, QuiescenceMsg, ReadOnly,
     SumF64, SumU64, TableAck, TableGot, TableRef, WoReady,
 };
+pub use trace::{EntryWhat, EventKind, MsgClass, TraceConfig, TraceEvent, TraceLog};
 
 /// Everything a kernel program normally needs.
 pub mod prelude {
@@ -105,6 +107,7 @@ pub mod prelude {
         Acc, AccResult, Accum, MaxF64, MinBoundU64, MinU64, Mono, MonoVar, QuiescenceMsg,
         ReadOnly, SumF64, SumU64, TableAck, TableGot, TableRef, WoReady,
     };
+    pub use crate::trace::{EventKind, TraceConfig, TraceLog};
     pub use multicomputer::{Cost, FaultPlan, MachinePreset, Pe, SimConfig, Topology};
     #[cfg(feature = "threads")]
     pub use multicomputer::ThreadConfig;

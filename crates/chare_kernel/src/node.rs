@@ -31,6 +31,7 @@ use crate::reliable::{
 };
 use crate::shared::{QuiescenceMsg, TableAck, WoReady};
 use crate::stats::KernelCounters;
+use crate::trace::{EntryWhat, EventKind, MsgClass, PeTracer};
 
 /// Give up requesting work after this many consecutive NACKs; arrival of
 /// any new seed resets the budget.
@@ -55,7 +56,7 @@ const GRANT_MAX: usize = 16;
 const COMBINE_MAX_BYTES: u32 = 512;
 
 /// Per-program runtime knobs handed to every node.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone)]
 pub(crate) struct NodeOptions {
     pub bcast: BroadcastMode,
     pub combining: bool,
@@ -63,6 +64,8 @@ pub(crate) struct NodeOptions {
     /// Wrap remote messages in acked, retransmitted frames (for lossy
     /// machine configurations).
     pub reliable: Option<ReliableConfig>,
+    /// Structured event recording handle (`None` = tracing off).
+    pub tracer: Option<PeTracer>,
 }
 
 pub(crate) struct CollectState {
@@ -121,6 +124,14 @@ pub struct CkNode {
     rel: Option<RelState>,
     pub(crate) rng: StdRng,
     pub(crate) counters: KernelCounters,
+    /// Structured event recording (`None` = tracing off). Recording is
+    /// passive — no sends, no charges — so enabling it never changes a
+    /// run's schedule.
+    #[cfg_attr(not(feature = "trace"), allow(dead_code))]
+    tracer: Option<PeTracer>,
+    /// Last queue length recorded, so samples fire only on change.
+    #[cfg_attr(not(feature = "trace"), allow(dead_code))]
+    last_q_sample: Option<u32>,
     last_advertised: Option<u32>,
     awaiting_work: bool,
     nack_budget: u32,
@@ -170,12 +181,64 @@ impl CkNode {
                 opts.rng_seed ^ (pe.index() as u64).wrapping_mul(0x9E37_79B9),
             ),
             counters: KernelCounters::default(),
+            tracer: opts.tracer,
+            last_q_sample: None,
             last_advertised: None,
             awaiting_work: false,
             nack_budget: NACK_BUDGET,
             deferred_reqs: VecDeque::new(),
         }
     }
+
+    /// Record one trace event, timestamped now. One `Option` test when
+    /// tracing is configured off; compiled out entirely (closure never
+    /// built) without the `trace` feature.
+    #[cfg(feature = "trace")]
+    #[inline]
+    fn trace(&self, net: &dyn NetCtx, make: impl FnOnce() -> EventKind) {
+        if let Some(t) = &self.tracer {
+            t.record(net.now_ns(), make());
+        }
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[inline(always)]
+    fn trace(&self, _net: &dyn NetCtx, _make: impl FnOnce() -> EventKind) {}
+
+    /// Record one trace event at an explicit timestamp (receive side,
+    /// where the packet's arrival instant is the honest time).
+    #[cfg(feature = "trace")]
+    #[inline]
+    fn trace_at(&self, at_ns: u64, make: impl FnOnce() -> EventKind) {
+        if let Some(t) = &self.tracer {
+            t.record(at_ns, make());
+        }
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[inline(always)]
+    fn trace_at(&self, _at_ns: u64, _make: impl FnOnce() -> EventKind) {}
+
+    /// Record a queue-length sample if the backlog changed since the
+    /// last sample (keeps the counter track step-shaped, not per-event).
+    #[cfg(feature = "trace")]
+    fn sample_queue(&mut self, net: &dyn NetCtx) {
+        let Some(t) = &self.tracer else {
+            return;
+        };
+        if !t.queue_samples() {
+            return;
+        }
+        let len = self.user_load() as u32;
+        if self.last_q_sample != Some(len) {
+            self.last_q_sample = Some(len);
+            t.record(net.now_ns(), EventKind::QueueSample { len });
+        }
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[inline(always)]
+    fn sample_queue(&mut self, _net: &dyn NetCtx) {}
 
     /// Runnable user backlog (queued messages + pooled seeds).
     pub(crate) fn user_load(&self) -> usize {
@@ -204,6 +267,15 @@ impl CkNode {
         if sys.counted() {
             self.counters.user_sent += 1;
         }
+        self.trace(&*net, || EventKind::MsgSend {
+            to,
+            class: MsgClass::of(&sys),
+            bytes: sys.wire_bytes(),
+            hops: match &sys {
+                SysMsg::NewChare { hops, .. } => *hops,
+                _ => 0,
+            },
+        });
         if self.combining && to != self.pe && sys.wire_bytes() <= COMBINE_MAX_BYTES {
             self.outbuf[to.index()].push(sys);
             return;
@@ -328,6 +400,7 @@ impl CkNode {
                 }
             }
         };
+        self.trace(&*net, || EventKind::SeedRedirected { to: target });
         if let SysMsg::NewChare {
             kind,
             seed,
@@ -476,6 +549,7 @@ impl CkNode {
         match placement {
             Placement::Local => {
                 self.counters.seeds_kept += 1;
+                self.trace(&*net, || EventKind::SeedKept { kind, hops });
                 self.nack_budget = NACK_BUDGET;
                 self.awaiting_work = false;
                 let item = WorkItem::NewChare {
@@ -497,6 +571,7 @@ impl CkNode {
             }
             Placement::Forward(pe) => {
                 self.counters.seeds_forwarded += 1;
+                self.trace(&*net, || EventKind::SeedForwarded { kind, to: pe, hops });
                 self.post(
                     net,
                     pe,
@@ -778,6 +853,23 @@ impl CkNode {
     /// Execute one unit of user work.
     fn exec_item(&mut self, net: &mut dyn NetCtx, item: WorkItem) {
         self.counters.entries_executed += 1;
+        self.trace(&*net, || {
+            let (what, ep) = match &item {
+                WorkItem::NewChare { kind, .. } => (EntryWhat::Create(*kind), None),
+                WorkItem::ChareMsg { local, ep, .. } => (EntryWhat::Chare(*local), Some(*ep)),
+                WorkItem::BranchMsg { boc, ep, .. } => (EntryWhat::Branch(*boc), Some(*ep)),
+            };
+            EventKind::EntryBegin { what, ep }
+        });
+        let sent_before = self.counters.user_sent;
+        self.run_item(net, item);
+        self.trace(&*net, || EventKind::EntryEnd {
+            msgs_sent: (self.counters.user_sent - sent_before) as u32,
+        });
+    }
+
+    /// Run the handler behind one work item.
+    fn run_item(&mut self, net: &mut dyn NetCtx, item: WorkItem) {
         match item {
             WorkItem::NewChare { kind, seed, .. } => {
                 let slot = self.alloc_slot();
@@ -963,6 +1055,8 @@ impl NodeProgram for CkNode {
             if let Some(main) = &reg.main {
                 let (seed, bytes) = (main.make_seed)();
                 self.counters.seeds_kept += 1;
+                let kind = main.kind;
+                self.trace(&*net, || EventKind::SeedKept { kind, hops: 0 });
                 self.queue.push(
                     Priority::None,
                     WorkItem::NewChare {
@@ -982,11 +1076,16 @@ impl NodeProgram for CkNode {
     }
 
     fn incoming(&mut self, pkt: Packet) {
-        let Packet { from, payload, .. } = pkt;
+        let Packet {
+            from,
+            at_ns,
+            payload,
+            ..
+        } = pkt;
         let sys = *payload
             .downcast::<SysMsg>()
             .expect("kernel node received a non-kernel packet");
-        self.classify_incoming(from, sys);
+        self.classify_incoming(at_ns, from, sys);
         self.note_backlog();
     }
 
@@ -1014,6 +1113,10 @@ impl NodeProgram for CkNode {
         let actions = rel.on_alarm(now);
         for rt in actions.retransmits {
             self.counters.retransmits += 1;
+            self.trace_at(now, || EventKind::Retransmit {
+                to: rt.to,
+                seq: rt.seq,
+            });
             net.send(
                 rt.to,
                 frame_wire_bytes(rt.inner_bytes),
@@ -1039,8 +1142,10 @@ impl NodeProgram for CkNode {
 
 impl CkNode {
     /// File one arrived envelope into the right queue (unpacking
-    /// batches). Runs no user code.
-    fn classify_incoming(&mut self, from: Pe, sys: SysMsg) {
+    /// batches). Runs no user code. `at` is the packet's arrival
+    /// timestamp, threaded through batch/frame unwrapping so every
+    /// unpacked message is logged at the instant it truly arrived.
+    fn classify_incoming(&mut self, at: u64, from: Pe, sys: SysMsg) {
         // Reliable transport framing peels off first: ack every frame
         // (fresh or duplicate), deliver bodies exactly once and in
         // sequence order per link.
@@ -1051,14 +1156,14 @@ impl CkNode {
                     Some(Accept::Dup) => self.counters.dup_dropped += 1,
                     Some(Accept::Deliver(run)) => {
                         for inner in run {
-                            self.classify_incoming(from, inner);
+                            self.classify_incoming(at, from, inner);
                         }
                     }
                     // Frame without reliable mode (shouldn't happen):
                     // deliver the body, nobody will ack.
                     None => {
                         if let Some(inner) = slot.lock().expect("slot lock").take() {
-                            self.classify_incoming(from, inner);
+                            self.classify_incoming(at, from, inner);
                         }
                     }
                 }
@@ -1074,13 +1179,18 @@ impl CkNode {
         };
         if let SysMsg::Batch(inner) = sys {
             for m in inner {
-                self.classify_incoming(from, m);
+                self.classify_incoming(at, from, m);
             }
             return;
         }
         if sys.counted() {
             self.counters.user_recv += 1;
         }
+        self.trace_at(at, || EventKind::MsgRecv {
+            from,
+            class: MsgClass::of(&sys),
+            bytes: sys.wire_bytes(),
+        });
         match sys {
             SysMsg::ChareMsg {
                 target,
@@ -1138,6 +1248,7 @@ impl CkNode {
         }
         self.maybe_report_load(net);
         self.maybe_request_work(net);
+        self.sample_queue(&*net);
         did
     }
 }
@@ -1209,6 +1320,7 @@ mod tests {
                 combining: false,
                 rng_seed: 7,
                 reliable: None,
+                tracer: None,
             },
         )
     }
@@ -1283,6 +1395,7 @@ mod tests {
             combining: false,
             rng_seed: 7,
             reliable: None,
+            tracer: None,
         };
         let mut node = CkNode::new(Pe(0), 4, reg, queue, balancer, opts);
         let mut net = MockNet::new(Pe(0), 4);
@@ -1329,6 +1442,7 @@ mod tests {
             combining: false,
             rng_seed: 7,
             reliable: None,
+            tracer: None,
         };
         let mut node = CkNode::new(Pe(1), 4, reg, queue, balancer, opts);
         let mut net = MockNet::new(Pe(1), 4);
@@ -1368,6 +1482,7 @@ mod tests {
             combining: false,
             rng_seed: 7,
             reliable: None,
+            tracer: None,
         };
         let mut node = CkNode::new(Pe(1), 4, reg, queue, balancer, opts);
         let mut net = MockNet::new(Pe(1), 4);

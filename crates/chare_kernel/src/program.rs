@@ -30,6 +30,7 @@ use crate::queueing::QueueingStrategy;
 use crate::registry::{AccEntry, BocEntry, ChareEntry, MainSpec, MonoEntry, Registry, TableEntry};
 use crate::reliable::ReliableConfig;
 use crate::shared::{Acc, Accum, Mono, MonoVar, ReadOnly, TableRef};
+use crate::trace::{TraceConfig, TraceLog, TraceSink};
 
 /// Builder for a chare-kernel program.
 pub struct ProgramBuilder {
@@ -40,6 +41,7 @@ pub struct ProgramBuilder {
     combining: bool,
     rng_seed: u64,
     reliable: Option<ReliableConfig>,
+    tracing: Option<TraceConfig>,
 }
 
 impl Default for ProgramBuilder {
@@ -60,6 +62,7 @@ impl ProgramBuilder {
             combining: false,
             rng_seed: 0x5EED_CAFE,
             reliable: None,
+            tracing: None,
         }
     }
 
@@ -167,6 +170,16 @@ impl ProgramBuilder {
         self
     }
 
+    /// Enable kernel event tracing: every node records structured events
+    /// (entry begin/end, message send/recv, seed balance decisions,
+    /// retransmits, queue samples) into per-PE ring buffers, collected
+    /// into [`CkReport::trace`] after the run. Recording is passive —
+    /// results and timing are identical with tracing on or off.
+    pub fn tracing(&mut self, cfg: TraceConfig) -> &mut Self {
+        self.tracing = Some(cfg);
+        self
+    }
+
     /// Finalize into an immutable, reusable [`Program`].
     pub fn build(self) -> Program {
         Program {
@@ -177,6 +190,7 @@ impl ProgramBuilder {
             combining: self.combining,
             rng_seed: self.rng_seed,
             reliable: self.reliable,
+            tracing: self.tracing,
         }
     }
 }
@@ -192,6 +206,7 @@ pub struct Program {
     combining: bool,
     rng_seed: u64,
     reliable: Option<ReliableConfig>,
+    tracing: Option<TraceConfig>,
 }
 
 impl Program {
@@ -221,22 +236,40 @@ impl Program {
         p
     }
 
-    fn factory(&self, topology: Topology) -> CkFactory {
+    /// A copy of this program with kernel event tracing enabled — sugar
+    /// for post-mortem analysis of an already-built program (see
+    /// [`ProgramBuilder::tracing`]).
+    pub fn with_tracing(&self, cfg: TraceConfig) -> Program {
+        let mut p = self.clone();
+        p.tracing = Some(cfg);
+        p
+    }
+
+    /// One trace sink per run, sized for `npes` PEs (shared by the
+    /// factory-built nodes and drained into the report afterwards).
+    fn trace_sink(&self, npes: usize) -> Option<Arc<TraceSink>> {
+        self.tracing.map(|cfg| TraceSink::shared(npes, cfg))
+    }
+
+    fn factory(&self, topology: Topology, sink: Option<Arc<TraceSink>>) -> CkFactory {
         CkFactory {
             prog: self.clone(),
             topology,
+            sink,
         }
     }
 
     /// Run on the discrete-event simulator.
     pub fn run_sim(&self, cfg: SimConfig) -> CkReport {
-        let factory = self.factory(cfg.topology.clone());
+        let sink = self.trace_sink(cfg.npes);
+        let factory = self.factory(cfg.topology.clone(), sink.clone());
         let rep = SimMachine::run_factory(cfg, &factory);
         CkReport {
             time_ns: rep.end_time.as_nanos(),
             result: rep.result,
             node_stats: rep.node_stats,
             timed_out: false,
+            trace: sink.map(|s| s.drain()),
             sim: Some(SimDetail {
                 end_time: rep.end_time,
                 utilization: {
@@ -278,13 +311,15 @@ impl Program {
     /// Run on the thread backend with full control.
     #[cfg(feature = "threads")]
     pub fn run_threads_cfg(&self, cfg: ThreadConfig, topology: Topology) -> CkReport {
-        let factory = self.factory(topology);
+        let sink = self.trace_sink(cfg.npes);
+        let factory = self.factory(topology, sink.clone());
         let rep = ThreadMachine::run(cfg, &factory);
         CkReport {
             time_ns: rep.wall.as_nanos() as u64,
             result: rep.result,
             node_stats: rep.node_stats,
             timed_out: rep.timed_out,
+            trace: sink.map(|s| s.drain()),
             sim: None,
         }
     }
@@ -295,6 +330,7 @@ impl Program {
 pub struct CkFactory {
     prog: Program,
     topology: Topology,
+    sink: Option<Arc<TraceSink>>,
 }
 
 impl NodeFactory for CkFactory {
@@ -322,6 +358,7 @@ impl NodeFactory for CkFactory {
                 combining: self.prog.combining,
                 rng_seed: self.prog.rng_seed,
                 reliable: self.prog.reliable,
+                tracer: self.sink.as_ref().map(|s| s.tracer_for(pe)),
             },
         )
     }
@@ -366,6 +403,9 @@ pub struct CkReport {
     pub node_stats: Vec<NodeStats>,
     /// Thread backend only: the watchdog fired before `exit`.
     pub timed_out: bool,
+    /// The kernel event log, when the program ran with tracing enabled
+    /// (see [`ProgramBuilder::tracing`]).
+    pub trace: Option<TraceLog>,
     /// Simulator-only detail.
     pub sim: Option<SimDetail>,
 }

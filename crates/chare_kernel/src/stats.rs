@@ -6,89 +6,85 @@
 
 use multicomputer::NodeStats;
 
-/// Per-PE kernel counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct KernelCounters {
+/// Declares [`KernelCounters`] once: the struct, the canonical
+/// [`KernelCounters::NAMES`] list and [`KernelCounters::to_node_stats`]
+/// are all generated from the same field list, so adding a counter can
+/// never leave the exported report (or a test's expected count) stale.
+macro_rules! kernel_counters {
+    ($( $(#[$meta:meta])* $name:ident ),+ $(,)?) => {
+        /// Per-PE kernel counters.
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        pub struct KernelCounters {
+            $( $(#[$meta])* pub $name: u64, )+
+        }
+
+        impl KernelCounters {
+            /// Every counter name, in export order.
+            pub const NAMES: &'static [&'static str] = &[$(stringify!($name)),+];
+
+            /// Flatten into the machine layer's name/value report.
+            pub fn to_node_stats(&self) -> NodeStats {
+                let mut s = NodeStats::new();
+                $( s.push(stringify!($name), self.$name); )+
+                s
+            }
+        }
+    };
+}
+
+kernel_counters! {
     /// User messages sent (seeds, chare/branch messages, shared-variable
     /// operations) — the quiescence-detection "sent" counter.
-    pub user_sent: u64,
+    user_sent,
     /// User messages received — the quiescence-detection "recv" counter.
-    pub user_recv: u64,
+    user_recv,
     /// Chares constructed on this PE.
-    pub chares_created: u64,
+    chares_created,
     /// Entry-method executions (including constructions).
-    pub entries_executed: u64,
+    entries_executed,
     /// Messages addressed to chares that no longer exist.
-    pub dead_letters: u64,
+    dead_letters,
     /// Seeds this PE's balancer forwarded elsewhere.
-    pub seeds_forwarded: u64,
+    seeds_forwarded,
     /// Seeds this PE kept and enqueued.
-    pub seeds_kept: u64,
+    seeds_kept,
     /// Work requests sent while idle (token strategy).
-    pub work_reqs: u64,
+    work_reqs,
     /// Work requests answered with a seed.
-    pub work_grants: u64,
+    work_grants,
     /// Work requests answered with a NACK.
-    pub work_nacks: u64,
+    work_nacks,
     /// Monotonic-variable improvement broadcasts originated here.
-    pub mono_broadcasts: u64,
+    mono_broadcasts,
     /// Monotonic updates applied (local improvements from any source).
-    pub mono_applied: u64,
+    mono_applied,
     /// Distributed-table operations served by this PE's shard.
-    pub table_ops: u64,
+    table_ops,
     /// Accumulator collects initiated from this PE.
-    pub acc_collects: u64,
+    acc_collects,
     /// Load reports sent.
-    pub load_reports: u64,
+    load_reports,
     /// Quiescence-detection waves answered.
-    pub qd_replies: u64,
+    qd_replies,
     /// High-water mark of the runnable backlog (queue + seed pool) —
     /// the per-PE memory pressure the paper's queueing discussion cares
     /// about.
-    pub queue_hwm: u64,
+    queue_hwm,
     /// Reliable frames retransmitted after an ack timeout.
-    pub retransmits: u64,
+    retransmits,
     /// Duplicate reliable frames discarded by the receiver.
-    pub dup_dropped: u64,
+    dup_dropped,
     /// Ack messages sent (each may cover several frames).
-    pub acks_sent: u64,
+    acks_sent,
     /// Seeds re-dispatched to a different PE after exhausting their
     /// retry budget against an unresponsive destination.
-    pub seeds_redirected: u64,
-}
-
-impl KernelCounters {
-    /// Flatten into the machine layer's name/value report.
-    pub fn to_node_stats(&self) -> NodeStats {
-        let mut s = NodeStats::new();
-        s.push("user_sent", self.user_sent);
-        s.push("user_recv", self.user_recv);
-        s.push("chares_created", self.chares_created);
-        s.push("entries_executed", self.entries_executed);
-        s.push("dead_letters", self.dead_letters);
-        s.push("seeds_forwarded", self.seeds_forwarded);
-        s.push("seeds_kept", self.seeds_kept);
-        s.push("work_reqs", self.work_reqs);
-        s.push("work_grants", self.work_grants);
-        s.push("work_nacks", self.work_nacks);
-        s.push("mono_broadcasts", self.mono_broadcasts);
-        s.push("mono_applied", self.mono_applied);
-        s.push("table_ops", self.table_ops);
-        s.push("acc_collects", self.acc_collects);
-        s.push("load_reports", self.load_reports);
-        s.push("qd_replies", self.qd_replies);
-        s.push("queue_hwm", self.queue_hwm);
-        s.push("retransmits", self.retransmits);
-        s.push("dup_dropped", self.dup_dropped);
-        s.push("acks_sent", self.acks_sent);
-        s.push("seeds_redirected", self.seeds_redirected);
-        s
-    }
+    seeds_redirected,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
 
     #[test]
     fn exports_all_counters() {
@@ -101,6 +97,17 @@ mod tests {
         assert_eq!(s.get("user_sent"), Some(3));
         assert_eq!(s.get("chares_created"), Some(2));
         assert_eq!(s.get("dead_letters"), Some(0));
-        assert_eq!(s.counters.len(), 21);
+        // Derived from the struct itself, so adding a counter cannot
+        // silently break this.
+        assert_eq!(s.counters.len(), KernelCounters::NAMES.len());
+    }
+
+    #[test]
+    fn names_match_export_order_and_are_unique() {
+        let s = KernelCounters::default().to_node_stats();
+        let exported: Vec<&str> = s.counters.iter().map(|&(n, _)| n).collect();
+        assert_eq!(exported, KernelCounters::NAMES);
+        let unique: HashSet<&str> = KernelCounters::NAMES.iter().copied().collect();
+        assert_eq!(unique.len(), KernelCounters::NAMES.len());
     }
 }

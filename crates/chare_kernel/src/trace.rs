@@ -1,0 +1,452 @@
+//! Kernel-level execution tracing — the event log behind the
+//! Projections-style post-mortem views.
+//!
+//! The machine layer's [`multicomputer::TraceSpan`] records *when* each
+//! scheduling step ran; this module records *what* the kernel did inside
+//! and between those steps: entry-method begin/end, every message send
+//! and receive with its class and size, seed load-balancing decisions,
+//! reliable-layer retransmissions and queue-length samples. The two
+//! streams share timestamps, so a post-mortem analyzer (the `ck_trace`
+//! crate) joins them into per-entry time breakdowns, grain-size
+//! histograms, PE×PE communication matrices and Chrome/Perfetto
+//! timelines.
+//!
+//! ## Cost discipline
+//!
+//! Recording is strictly passive: it never sends messages, never charges
+//! simulated time, and never perturbs the scheduler. A run with tracing
+//! enabled is therefore byte-identical (same simulated end time, event
+//! count, packets, bytes, counters and program result) to the same run
+//! with tracing off — asserted by `ck_apps/tests/trace_invariants.rs`.
+//! When tracing is *not configured* the recording path is a single
+//! `Option` test per site, and the whole path can additionally be
+//! compiled out by building `chare_kernel` with
+//! `--no-default-features --features threads` (dropping the default
+//! `trace` feature), leaving zero code behind.
+//!
+//! Events land in fixed-capacity per-PE ring buffers (oldest events are
+//! overwritten, with a drop counter), so tracing a long run costs
+//! bounded memory.
+
+use std::sync::{Arc, Mutex};
+
+use multicomputer::Pe;
+
+use crate::envelope::SysMsg;
+use crate::ids::{BocId, ChareKind, EpId};
+
+/// Tracing knobs, handed to [`ProgramBuilder::tracing`](crate::program::ProgramBuilder::tracing).
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Maximum events retained per PE; older events are overwritten
+    /// (counted in [`TraceLog::dropped`]).
+    pub capacity: usize,
+    /// Record [`EventKind::QueueSample`] events when a PE's runnable
+    /// backlog changes between scheduling steps.
+    pub queue_samples: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            capacity: 1 << 20,
+            queue_samples: true,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// A config with `capacity` events retained per PE.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceConfig {
+            capacity: capacity.max(1),
+            ..TraceConfig::default()
+        }
+    }
+}
+
+/// Broad class of a kernel wire message, for overhead attribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MsgClass {
+    /// A new-chare seed (still subject to load balancing, or placed).
+    Seed,
+    /// A message to an existing chare's entry point.
+    Chare,
+    /// A message to a branch-office chare's branch.
+    Branch,
+    /// A spanning-tree broadcast in flight.
+    Broadcast,
+    /// Specifically-shared-variable traffic (accumulators, monotonics,
+    /// tables, write-once replication).
+    Shared,
+    /// Quiescence-detection waves.
+    Qd,
+    /// Load-balancing control (load reports, work-request tokens).
+    Balance,
+    /// Reliable-transport framing (frames and acks).
+    Transport,
+    /// Message-combining batch wrapper.
+    Batch,
+}
+
+impl MsgClass {
+    /// Classify a kernel envelope.
+    pub fn of(sys: &SysMsg) -> MsgClass {
+        match sys {
+            SysMsg::NewChare { .. } => MsgClass::Seed,
+            SysMsg::ChareMsg { .. } => MsgClass::Chare,
+            SysMsg::BranchMsg { .. } => MsgClass::Branch,
+            SysMsg::TreeCast { .. } => MsgClass::Broadcast,
+            SysMsg::AccCollect { .. }
+            | SysMsg::AccPart { .. }
+            | SysMsg::MonoUpdate { .. }
+            | SysMsg::TablePut { .. }
+            | SysMsg::TableGet { .. }
+            | SysMsg::TableDelete { .. }
+            | SysMsg::WoStore { .. }
+            | SysMsg::WoAck { .. } => MsgClass::Shared,
+            SysMsg::QdStart { .. } | SysMsg::QdPoll { .. } | SysMsg::QdCount { .. } => MsgClass::Qd,
+            SysMsg::LoadStatus { .. } | SysMsg::WorkReq { .. } | SysMsg::WorkNack => {
+                MsgClass::Balance
+            }
+            SysMsg::RelData { .. } | SysMsg::RelAck { .. } => MsgClass::Transport,
+            SysMsg::Batch(_) => MsgClass::Batch,
+        }
+    }
+
+    /// Short stable label (used in exported traces).
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgClass::Seed => "seed",
+            MsgClass::Chare => "chare",
+            MsgClass::Branch => "branch",
+            MsgClass::Broadcast => "broadcast",
+            MsgClass::Shared => "shared",
+            MsgClass::Qd => "qd",
+            MsgClass::Balance => "balance",
+            MsgClass::Transport => "transport",
+            MsgClass::Batch => "batch",
+        }
+    }
+}
+
+/// What kind of object an entry execution ran on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EntryWhat {
+    /// A chare constructor (from a seed of the given registered kind).
+    Create(ChareKind),
+    /// An entry method of the chare in the given local slot.
+    Chare(u32),
+    /// An entry method of a branch-office chare's local branch.
+    Branch(BocId),
+}
+
+/// One structured kernel event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// An entry-method execution is starting.
+    EntryBegin {
+        /// What is executing.
+        what: EntryWhat,
+        /// The entry point invoked (`None` for constructors).
+        ep: Option<EpId>,
+    },
+    /// The entry method returned.
+    EntryEnd {
+        /// Counted user messages the entry produced.
+        msgs_sent: u32,
+    },
+    /// A kernel envelope was posted (before combining/framing).
+    MsgSend {
+        /// Destination PE (may equal the recording PE).
+        to: Pe,
+        /// Message class.
+        class: MsgClass,
+        /// Wire size.
+        bytes: u32,
+        /// Load-balancer forwards so far for seeds
+        /// ([`PLACED`](crate::envelope::PLACED) for pinned seeds);
+        /// 0 for everything else.
+        hops: u32,
+    },
+    /// A kernel envelope arrived (after batch/frame unpacking).
+    MsgRecv {
+        /// Sending PE.
+        from: Pe,
+        /// Message class.
+        class: MsgClass,
+        /// Wire size.
+        bytes: u32,
+    },
+    /// The load balancer kept a seed on this PE.
+    SeedKept {
+        /// Registered chare kind.
+        kind: ChareKind,
+        /// Forwards the seed had taken when it settled.
+        hops: u32,
+    },
+    /// The load balancer forwarded a seed.
+    SeedForwarded {
+        /// Registered chare kind.
+        kind: ChareKind,
+        /// Where it went.
+        to: Pe,
+        /// Forwards so far (before this one).
+        hops: u32,
+    },
+    /// The reliable layer re-homed a seed away from an unresponsive PE.
+    SeedRedirected {
+        /// The new destination.
+        to: Pe,
+    },
+    /// The reliable layer retransmitted a frame after an ack timeout.
+    Retransmit {
+        /// Frame destination.
+        to: Pe,
+        /// Frame sequence number.
+        seq: u64,
+    },
+    /// The runnable backlog changed between scheduling steps.
+    QueueSample {
+        /// Queue + seed-pool length after the step.
+        len: u32,
+    },
+}
+
+/// One timestamped event from one PE.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened (simulated ns on the simulator, elapsed ns on
+    /// the thread backend).
+    pub at_ns: u64,
+    /// The recording PE.
+    pub pe: Pe,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Fixed-capacity ring of events; overwrites oldest when full.
+#[derive(Debug, Default)]
+struct RingLog {
+    cap: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    start: usize,
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+impl RingLog {
+    fn new(cap: usize) -> Self {
+        RingLog {
+            cap: cap.max(1),
+            start: 0,
+            events: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.cap {
+            self.events.push(ev);
+        } else {
+            self.events[self.start] = ev;
+            self.start = (self.start + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events in arrival order.
+    fn drain(&mut self) -> (Vec<TraceEvent>, u64) {
+        let mut out = Vec::with_capacity(self.events.len());
+        out.extend_from_slice(&self.events[self.start..]);
+        out.extend_from_slice(&self.events[..self.start]);
+        self.events.clear();
+        self.start = 0;
+        (out, std::mem::take(&mut self.dropped))
+    }
+}
+
+/// Per-run collection point: one ring per PE. Created by
+/// [`Program::run_sim`](crate::program::Program::run_sim) when tracing
+/// is configured; each node records through its own [`PeTracer`].
+pub struct TraceSink {
+    cfg: TraceConfig,
+    bufs: Vec<Mutex<RingLog>>,
+}
+
+impl TraceSink {
+    /// A sink for `npes` PEs.
+    pub fn shared(npes: usize, cfg: TraceConfig) -> Arc<Self> {
+        Arc::new(TraceSink {
+            cfg,
+            bufs: (0..npes).map(|_| Mutex::new(RingLog::new(cfg.capacity))).collect(),
+        })
+    }
+
+    /// The recording handle for one PE.
+    pub fn tracer_for(self: &Arc<Self>, pe: Pe) -> PeTracer {
+        PeTracer {
+            pe,
+            sink: Arc::clone(self),
+        }
+    }
+
+    /// Collect everything recorded so far into one time-ordered log.
+    pub fn drain(&self) -> TraceLog {
+        let mut events = Vec::new();
+        let mut dropped = 0;
+        for buf in &self.bufs {
+            let (evs, d) = buf.lock().expect("trace ring lock").drain();
+            events.extend(evs);
+            dropped += d;
+        }
+        // Per-PE rings are individually ordered; merge into one stream.
+        events.sort_by_key(|e| e.at_ns);
+        TraceLog {
+            npes: self.bufs.len(),
+            events,
+            dropped,
+        }
+    }
+}
+
+/// One PE's recording handle. Recording is a ring-buffer push behind an
+/// uncontended per-PE mutex — no messages, no simulated cost.
+pub struct PeTracer {
+    pe: Pe,
+    sink: Arc<TraceSink>,
+}
+
+impl PeTracer {
+    /// Whether queue-length samples were requested.
+    #[inline]
+    pub fn queue_samples(&self) -> bool {
+        self.sink.cfg.queue_samples
+    }
+
+    /// Record one event at `at_ns`.
+    #[inline]
+    pub fn record(&self, at_ns: u64, kind: EventKind) {
+        let ev = TraceEvent {
+            at_ns,
+            pe: self.pe,
+            kind,
+        };
+        self.sink.bufs[self.pe.index()]
+            .lock()
+            .expect("trace ring lock")
+            .push(ev);
+    }
+}
+
+impl Clone for PeTracer {
+    fn clone(&self) -> Self {
+        PeTracer {
+            pe: self.pe,
+            sink: Arc::clone(&self.sink),
+        }
+    }
+}
+
+/// The post-mortem event log of one run, time-ordered across PEs.
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    /// Machine size the log was recorded on.
+    pub npes: usize,
+    /// All retained events, sorted by timestamp (stable across equal
+    /// timestamps: PE-0-first within each ring drain).
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring-buffer overwrites, summed over PEs.
+    pub dropped: u64,
+}
+
+impl TraceLog {
+    /// Events recorded by one PE, in order.
+    pub fn events_for(&self, pe: Pe) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.pe == pe)
+    }
+
+    /// Number of events matching a predicate.
+    pub fn count(&self, mut pred: impl FnMut(&EventKind) -> bool) -> u64 {
+        self.events.iter().filter(|e| pred(&e.kind)).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, len: u32) -> TraceEvent {
+        TraceEvent {
+            at_ns: at,
+            pe: Pe(0),
+            kind: EventKind::QueueSample { len },
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let mut r = RingLog::new(3);
+        for i in 0..5 {
+            r.push(ev(i, i as u32));
+        }
+        let (evs, dropped) = r.drain();
+        assert_eq!(dropped, 2);
+        let ats: Vec<u64> = evs.iter().map(|e| e.at_ns).collect();
+        assert_eq!(ats, vec![2, 3, 4], "oldest overwritten, order kept");
+    }
+
+    #[test]
+    fn ring_under_capacity_drops_nothing() {
+        let mut r = RingLog::new(8);
+        for i in 0..5 {
+            r.push(ev(i, 0));
+        }
+        let (evs, dropped) = r.drain();
+        assert_eq!(dropped, 0);
+        assert_eq!(evs.len(), 5);
+    }
+
+    #[test]
+    fn sink_merges_pe_streams_in_time_order() {
+        let sink = TraceSink::shared(2, TraceConfig::default());
+        let t0 = sink.tracer_for(Pe(0));
+        let t1 = sink.tracer_for(Pe(1));
+        t1.record(5, EventKind::QueueSample { len: 1 });
+        t0.record(3, EventKind::QueueSample { len: 2 });
+        t0.record(9, EventKind::QueueSample { len: 0 });
+        let log = sink.drain();
+        let ats: Vec<u64> = log.events.iter().map(|e| e.at_ns).collect();
+        assert_eq!(ats, vec![3, 5, 9]);
+        assert_eq!(log.npes, 2);
+        assert_eq!(log.events_for(Pe(0)).count(), 2);
+    }
+
+    #[test]
+    fn msg_class_covers_the_wire_protocol() {
+        assert_eq!(
+            MsgClass::of(&SysMsg::QdPoll { wave: 1 }),
+            MsgClass::Qd
+        );
+        assert_eq!(MsgClass::of(&SysMsg::WorkNack), MsgClass::Balance);
+        assert_eq!(
+            MsgClass::of(&SysMsg::RelAck { seqs: vec![1] }),
+            MsgClass::Transport
+        );
+        assert_eq!(MsgClass::of(&SysMsg::Batch(vec![])), MsgClass::Batch);
+        assert_eq!(MsgClass::Qd.label(), "qd");
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let cfg = TraceConfig::with_capacity(0);
+        assert_eq!(cfg.capacity, 1);
+        let mut r = RingLog::new(0);
+        r.push(ev(1, 0));
+        r.push(ev(2, 0));
+        let (evs, dropped) = r.drain();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].at_ns, 2);
+        assert_eq!(dropped, 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Tracing must observe, never perturb.
+//!
+//! The kernel's event log (PR: Projections-style tracing) is a passive
+//! recorder: it sends no messages, charges no simulated time and takes
+//! no scheduling decisions. These tests pin that down on real
+//! benchmarks — a traced run must be *byte-identical* to an untraced
+//! one — and check that what the log says agrees with what the kernel's
+//! own counters say happened.
+
+use chare_kernel::prelude::*;
+use ck_apps::{fib, nqueens};
+
+fn fib_prog() -> Program {
+    fib::build_default(fib::FibParams { n: 16, grain: 9 })
+}
+
+/// Tracing on vs. off: identical completion time, simulator event
+/// count, packet/byte totals and kernel counters. This is the
+/// zero-perturbation guarantee — the analogue of the reliability
+/// layer's zero-cost-off test.
+#[test]
+fn tracing_on_is_byte_identical_to_tracing_off() {
+    let plain = fib_prog();
+    let traced = plain.with_tracing(TraceConfig::default());
+    let a = plain.run_sim_preset(8, MachinePreset::NcubeLike);
+    let b = traced.run_sim_preset(8, MachinePreset::NcubeLike);
+    assert_eq!(a.time_ns, b.time_ns);
+    let (sa, sb) = (a.sim.as_ref().unwrap(), b.sim.as_ref().unwrap());
+    assert_eq!(sa.events, sb.events);
+    assert_eq!(sa.packets, sb.packets);
+    assert_eq!(sa.bytes, sb.bytes);
+    for name in ["user_sent", "user_recv", "entries_executed", "seeds_forwarded"] {
+        assert_eq!(a.counter_total(name), b.counter_total(name), "{name}");
+    }
+    assert!(a.trace.is_none());
+    assert!(b.trace.is_some());
+}
+
+/// A fixed-seed traced run replays to the identical event log.
+#[test]
+fn traced_run_replays_identically() {
+    let prog = nqueens::build_default(nqueens::QueensParams { n: 8, grain: 4 })
+        .with_tracing(TraceConfig::default());
+    let a = prog.run_sim_preset(8, MachinePreset::NcubeLike);
+    let b = prog.run_sim_preset(8, MachinePreset::NcubeLike);
+    let (ta, tb) = (a.trace.as_ref().unwrap(), b.trace.as_ref().unwrap());
+    assert_eq!(ta.events.len(), tb.events.len());
+    assert_eq!(ta.dropped, tb.dropped);
+    assert_eq!(ta.events, tb.events);
+}
+
+/// The log agrees with the kernel's own books: one EntryBegin/EntryEnd
+/// pair per counted entry execution, and at least one record of every
+/// seed placement decision.
+#[test]
+fn event_log_agrees_with_kernel_counters() {
+    let prog = fib_prog().with_tracing(TraceConfig::default());
+    let rep = prog.run_sim_preset(8, MachinePreset::NcubeLike);
+    let log = rep.trace.as_ref().unwrap();
+    assert_eq!(log.dropped, 0, "default capacity must hold this workload");
+    let begins = log.count(|k| matches!(k, EventKind::EntryBegin { .. }));
+    let ends = log.count(|k| matches!(k, EventKind::EntryEnd { .. }));
+    assert_eq!(begins, ends);
+    assert_eq!(begins, rep.counter_total("entries_executed"));
+    let kept = log.count(|k| matches!(k, EventKind::SeedKept { .. }));
+    let fwd = log.count(|k| matches!(k, EventKind::SeedForwarded { .. }));
+    assert_eq!(kept, rep.counter_total("seeds_kept"));
+    assert_eq!(fwd, rep.counter_total("seeds_forwarded"));
+    let sends = log.count(|k| matches!(k, EventKind::MsgSend { .. }));
+    let recvs = log.count(|k| matches!(k, EventKind::MsgRecv { .. }));
+    assert!(sends > 0 && recvs > 0);
+}
+
+/// A deliberately tiny ring buffer overflows gracefully: newest events
+/// are kept, the drop count says how many were lost, and the run's
+/// results are untouched.
+#[test]
+fn tiny_ring_buffer_drops_oldest_but_never_perturbs() {
+    let plain = fib_prog();
+    let tiny = plain.with_tracing(TraceConfig::with_capacity(16));
+    let a = plain.run_sim_preset(8, MachinePreset::NcubeLike);
+    let b = tiny.run_sim_preset(8, MachinePreset::NcubeLike);
+    assert_eq!(a.time_ns, b.time_ns, "overflow must not change the run");
+    let log = b.trace.as_ref().unwrap();
+    assert!(log.dropped > 0, "16-slot rings must overflow on fib");
+    assert!(log.events.len() <= 16 * 8, "npes rings of 16 events each");
+    // What survives is the newest tail: every PE's surviving events end
+    // at that PE's last recorded instant.
+    for pe in multicomputer::Pe::all(8) {
+        let evs: Vec<_> = log.events_for(pe).collect();
+        assert!(evs.len() <= 16);
+    }
+}

@@ -5,17 +5,28 @@
 //! cargo run --release -p ck_bench --bin tables -- --table 2
 //! cargo run --release -p ck_bench --bin tables -- --fig 1 --csv
 //! cargo run --release -p ck_bench --bin tables -- --all --quick
+//! cargo run --release -p ck_bench --bin tables -- --table p --quick
+//! cargo run --release -p ck_bench --bin tables -- --matrix fib --quick
+//! cargo run --release -p ck_bench --bin tables -- --export-trace fib --out fib.json
 //! ```
+
+use std::io::Write as _;
 
 use ck_bench::{Scale, Table};
 
 /// Internal id for `--table r`.
 const TABLE_R: u32 = 100;
+/// Internal id for `--table p`.
+const TABLE_P: u32 = 101;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tables [--all | --table N | --fig N] [--quick] [--csv | --md]\n\
-         tables: 1..=8, r (resilience)   figures: 1..=8"
+        "usage: tables [--all | --table N | --fig N | --matrix APP | --export-trace APP]\n\
+         \x20              [--quick] [--csv | --md] [--out PATH]\n\
+         tables: 1..=8, r (resilience), p (overhead attribution)   figures: 1..=8\n\
+         --matrix APP        PExPE message matrix for one benchmark (e.g. fib)\n\
+         --export-trace APP  Chrome trace-event JSON for one benchmark\n\
+         \x20                  (open at https://ui.perfetto.dev); --out writes to a file"
     );
     std::process::exit(2);
 }
@@ -26,6 +37,9 @@ fn main() {
     let mut csv = false;
     let mut md = false;
     let mut which: Vec<(bool, u32)> = Vec::new(); // (is_table, id)
+    let mut matrices: Vec<String> = Vec::new();
+    let mut exports: Vec<String> = Vec::new();
+    let mut out: Option<String> = None;
     let mut all = false;
     let mut i = 0;
     while i < args.len() {
@@ -39,16 +53,29 @@ fn main() {
                 i += 1;
                 let id = match args.get(i).map(String::as_str) {
                     Some("r") | Some("R") if is_table => TABLE_R,
+                    Some("p") | Some("P") if is_table => TABLE_P,
                     Some(a) => a.parse().unwrap_or_else(|_| usage()),
                     None => usage(),
                 };
                 which.push((is_table, id));
             }
+            "--matrix" => {
+                i += 1;
+                matrices.push(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--export-trace" => {
+                i += 1;
+                exports.push(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--out" => {
+                i += 1;
+                out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             _ => usage(),
         }
         i += 1;
     }
-    if !all && which.is_empty() {
+    if !all && which.is_empty() && matrices.is_empty() && exports.is_empty() {
         all = true;
     }
 
@@ -63,6 +90,7 @@ fn main() {
             (true, 7) => ck_bench::table7(scale),
             (true, 8) => ck_bench::table8(scale),
             (true, TABLE_R) => ck_bench::table_r(scale),
+            (true, TABLE_P) => ck_bench::table_p(scale),
             (false, 1) => ck_bench::fig1(scale),
             (false, 2) => ck_bench::fig2(scale),
             (false, 3) => ck_bench::fig3(scale),
@@ -75,11 +103,12 @@ fn main() {
         }
     };
 
-    let tables: Vec<Table> = if all {
+    let mut tables: Vec<Table> = if all {
         ck_bench::all(scale)
     } else {
         which.iter().map(|&(t, id)| run(t, id)).collect()
     };
+    tables.extend(matrices.iter().map(|m| ck_bench::comm_matrix_table(scale, m)));
     for t in tables {
         if csv {
             println!("# {}", t.title);
@@ -88,6 +117,20 @@ fn main() {
             println!("{}", t.to_markdown());
         } else {
             println!("{t}");
+        }
+    }
+
+    for app in &exports {
+        let json = ck_bench::export_trace(scale, app);
+        match &out {
+            Some(path) => {
+                let mut f = std::fs::File::create(path)
+                    .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+                f.write_all(json.as_bytes())
+                    .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+                eprintln!("wrote {} bytes of trace JSON to {path}", json.len());
+            }
+            None => println!("{json}"),
         }
     }
 }

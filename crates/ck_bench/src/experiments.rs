@@ -1017,6 +1017,7 @@ pub fn all(scale: Scale) -> Vec<Table> {
         fig7(scale),
         fig8(scale),
         table_r(scale),
+        crate::trace_view::table_p(scale),
     ]
 }
 

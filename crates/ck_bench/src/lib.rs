@@ -11,6 +11,8 @@
 
 pub mod experiments;
 pub mod table;
+pub mod trace_view;
 
 pub use experiments::*;
 pub use table::Table;
+pub use trace_view::{comm_matrix_table, export_trace, table_p};

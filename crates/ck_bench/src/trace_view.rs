@@ -1,0 +1,162 @@
+//! Trace-driven experiment views: where the mini-Projections analyzer
+//! ([`ck_trace`]) meets the benchmark suite.
+//!
+//! [`table_p`] is "Table P" of the reconstructed evaluation — the
+//! overhead-attribution table the paper's overhead discussion implies
+//! but never prints: for each benchmark, the split of total PE-time
+//! into useful work, scheduler dispatch, runtime control traffic and
+//! idle, plus grain-size and critical-path summaries. [`comm_matrix_table`]
+//! prints the PE×PE message matrix for one benchmark, and
+//! [`export_trace`] emits a Perfetto-loadable Chrome trace-event JSON
+//! timeline.
+
+use chare_kernel::{CkReport, TraceConfig};
+use ck_trace::RunTrace;
+use multicomputer::{MachinePreset, SimConfig};
+
+use crate::experiments::{standard_suite, AppCase, Scale};
+use crate::table::Table;
+
+const NPES: usize = 16;
+const PRESET: MachinePreset = MachinePreset::NcubeLike;
+
+/// Run one app with both kernel event tracing and simulator span
+/// tracing enabled, and join the two into a [`RunTrace`].
+fn traced_run(case: &AppCase) -> (CkReport, RunTrace) {
+    let prog = case.build_default().with_tracing(TraceConfig::default());
+    let cfg = SimConfig::preset(NPES, PRESET).with_trace();
+    let rep = prog.run_sim(cfg);
+    let run = RunTrace::from_report(&rep, &PRESET.cost_model())
+        .expect("traced simulator run must yield a RunTrace");
+    (rep, run)
+}
+
+fn case_named(scale: Scale, name: &str) -> AppCase {
+    standard_suite(scale)
+        .into_iter()
+        .find(|c| c.name == name)
+        .unwrap_or_else(|| {
+            let known: Vec<&str> = standard_suite(scale).iter().map(|c| c.name).collect();
+            panic!("unknown benchmark {name:?}; known: {known:?}")
+        })
+}
+
+/// Table P: overhead attribution per benchmark — the Projections view
+/// of where the PE-seconds went.
+pub fn table_p(scale: Scale) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Table P: overhead attribution ({NPES}-PE simulated NCUBE-like hypercube, tracing on)"
+        ),
+        &[
+            "program",
+            "work%",
+            "dispatch%",
+            "control%",
+            "idle%",
+            "med grain us",
+            "cp bound ms",
+            "cp eff",
+            "events",
+        ],
+    );
+    for case in standard_suite(scale) {
+        let (_, run) = traced_run(&case);
+        let (work, dispatch, control, idle) = run.attribution().fractions();
+        let grain = run.grain_histogram();
+        let cp = run.critical_path();
+        t.row(vec![
+            case.name.into(),
+            format!("{:.1}", work * 100.0),
+            format!("{:.1}", dispatch * 100.0),
+            format!("{:.1}", control * 100.0),
+            format!("{:.1}", idle * 100.0),
+            format!("{:.1}", grain.median_ns as f64 / 1e3),
+            format!("{:.2}", cp.lower_bound_ns as f64 / 1e6),
+            format!("{:.2}", cp.efficiency()),
+            run.events.len().to_string(),
+        ]);
+    }
+    t.note("work/dispatch/control/idle split the full P x T(P) PE-time; rows sum to 100%");
+    t.note("cp bound = max(total work / P, longest entry); cp eff = bound / T(P), 1.00 is optimal");
+    t.note("events = kernel trace records captured (sends, recvs, entries, balance decisions)");
+    t
+}
+
+/// PE×PE message-count matrix for one benchmark, as a table.
+pub fn comm_matrix_table(scale: Scale, name: &str) -> Table {
+    let case = case_named(scale, name);
+    let (_, run) = traced_run(&case);
+    let m = run.comm_matrix();
+    let mut headers: Vec<String> = vec!["src\\dst".into()];
+    headers.extend((0..m.npes).map(|d| d.to_string()));
+    let mut t = Table {
+        title: format!(
+            "Communication matrix: {name} on {NPES} PEs (messages sent src -> dst)"
+        ),
+        headers,
+        rows: Vec::new(),
+        notes: Vec::new(),
+    };
+    for (s, row) in m.msgs.iter().enumerate() {
+        let mut cells = vec![s.to_string()];
+        cells.extend(row.iter().map(|v| v.to_string()));
+        t.row(cells);
+    }
+    t.note(format!(
+        "{} messages total, {:.0}% remote",
+        m.total_msgs(),
+        m.remote_fraction() * 100.0
+    ));
+    t
+}
+
+/// Chrome trace-event JSON for one benchmark (load at ui.perfetto.dev).
+pub fn export_trace(scale: Scale, name: &str) -> String {
+    let case = case_named(scale, name);
+    let (_, run) = traced_run(&case);
+    let json = run.to_chrome_trace();
+    debug_assert!(ck_trace::json_lint::validate(&json).is_ok());
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_p_rows_sum_to_100_percent() {
+        let t = table_p(Scale::Quick);
+        assert_eq!(t.rows.len(), 9);
+        for row in &t.rows {
+            let sum: f64 = row[1..5].iter().map(|c| c.parse::<f64>().unwrap()).sum();
+            assert!((sum - 100.0).abs() < 0.5, "{row:?}");
+            let eff: f64 = row[7].parse().unwrap();
+            assert!(eff > 0.0 && eff <= 1.0, "{row:?}");
+            let events: u64 = row[8].parse().unwrap();
+            assert!(events > 0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn comm_matrix_fib_has_remote_traffic() {
+        let t = comm_matrix_table(Scale::Quick, "fib");
+        assert_eq!(t.rows.len(), NPES);
+        assert_eq!(t.headers.len(), NPES + 1);
+        let total: u64 = t
+            .rows
+            .iter()
+            .flat_map(|r| r[1..].iter())
+            .map(|c| c.parse::<u64>().unwrap())
+            .sum();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn exported_trace_is_valid_json() {
+        let json = export_trace(Scale::Quick, "fib");
+        ck_trace::json_lint::validate(&json).unwrap();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""));
+    }
+}

@@ -70,6 +70,11 @@ pub struct Packet {
     /// payloads are not serialized, so senders declare the size the wire
     /// representation would have.
     pub bytes: u32,
+    /// Arrival timestamp in nanoseconds: simulated arrival time on the
+    /// simulator, elapsed send time on the thread backend (which has no
+    /// arrival instant distinct from delivery). Feeds receive-side
+    /// tracing; carries no protocol meaning.
+    pub at_ns: u64,
     /// The message body.
     pub payload: Payload,
 }
@@ -79,6 +84,7 @@ impl std::fmt::Debug for Packet {
         f.debug_struct("Packet")
             .field("from", &self.from)
             .field("bytes", &self.bytes)
+            .field("at_ns", &self.at_ns)
             .finish_non_exhaustive()
     }
 }
@@ -215,6 +221,7 @@ mod tests {
         let p = Packet {
             from: Pe(1),
             bytes: 64,
+            at_ns: 0,
             payload: Box::new(42u32),
         };
         let s = format!("{p:?}");

@@ -395,6 +395,7 @@ impl<N: NodeProgram> SimMachine<N> {
                         pkt: Packet {
                             from,
                             bytes,
+                            at_ns: again.as_nanos(),
                             payload: Box::new(Replayable(copy)),
                         },
                     },
@@ -410,6 +411,7 @@ impl<N: NodeProgram> SimMachine<N> {
                 pkt: Packet {
                     from,
                     bytes,
+                    at_ns: arrive.as_nanos(),
                     payload,
                 },
             },
@@ -475,6 +477,7 @@ impl<N: NodeProgram> SimMachine<N> {
                     let pkt = Packet {
                         from: pkt.from,
                         bytes: pkt.bytes,
+                        at_ns: pkt.at_ns,
                         payload: Replayable::materialize(pkt.payload),
                     };
                     self.nodes[to.index()].incoming(pkt);

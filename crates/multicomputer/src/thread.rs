@@ -111,6 +111,9 @@ impl NetCtx for ThreadCtx {
         let pkt = Packet {
             from: self.me,
             bytes,
+            // No distinct arrival instant on real channels; stamp the
+            // send time (delivery follows almost immediately).
+            at_ns: self.now_ns(),
             payload,
         };
         // A send after shutdown has begun may find the receiver gone;

@@ -54,9 +54,16 @@ pub fn utilization_profile(
             t = bucket_end;
         }
     }
-    for row in &mut profile {
+    // Normalize each bucket by its *actual* width: when `end_ns` is not
+    // divisible by `buckets`, the final bucket is narrower than `width`,
+    // and dividing by the nominal width would under-report a fully busy
+    // tail slice.
+    for (b, row) in profile.iter_mut().enumerate() {
+        let lo = b as u64 * width;
+        let hi = ((b as u64 + 1) * width).min(end_ns);
+        let actual = hi.saturating_sub(lo).max(1) as f64;
         for v in row.iter_mut() {
-            *v /= width as f64;
+            *v /= actual;
             *v = v.min(1.0);
         }
     }
@@ -75,8 +82,16 @@ pub fn render_profile(profile: &[Vec<f64>], end_ns: u64) -> String {
     out.push_str("      t(ms)  mean util                                    min   max\n");
     for (b, row) in profile.iter().enumerate() {
         let mean = row.iter().sum::<f64>() / row.len().max(1) as f64;
-        let min = row.iter().cloned().fold(1.0f64, f64::min);
-        let max = row.iter().cloned().fold(0.0f64, f64::max);
+        // An empty row (zero PEs) must render as idle, not as the fold
+        // seeds — a `fold(1.0, min)` over no elements would claim 100%.
+        let (min, max) = if row.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (
+                row.iter().cloned().fold(f64::INFINITY, f64::min),
+                row.iter().cloned().fold(0.0f64, f64::max),
+            )
+        };
         let bar_len = (mean * 40.0).round() as usize;
         out.push_str(&format!(
             " {:>10.2}  |{:<40}| {:>4.0}% {:>4.0}%\n",
@@ -160,5 +175,55 @@ mod tests {
     fn empty_trace_is_all_idle() {
         let p = utilization_profile(&[], 3, 1000, 2);
         assert!(p.iter().all(|row| row.iter().all(|&v| v == 0.0)));
+    }
+
+    #[test]
+    fn non_divisible_end_keeps_full_buckets_at_one() {
+        // 1000ns over 3 buckets: width = ceil(1000/3) = 334, so the last
+        // bucket covers only [668, 1000) = 332ns. A fully busy PE must
+        // still read 100% there (regression: it read 332/334).
+        let spans = vec![span(0, 0, 1000)];
+        let p = utilization_profile(&spans, 1, 1000, 3);
+        for (b, row) in p.iter().enumerate() {
+            assert!((row[0] - 1.0).abs() < 1e-9, "bucket {b}: {row:?}");
+        }
+    }
+
+    #[test]
+    fn non_divisible_partial_tail_is_fractional_of_actual_width() {
+        // Last bucket is [668, 1000); busy 668..834 = 166 of 332ns = 50%.
+        let spans = vec![span(0, 668, 834)];
+        let p = utilization_profile(&spans, 1, 1000, 3);
+        assert!((p[0][0] - 0.0).abs() < 1e-9);
+        assert!((p[1][0] - 0.0).abs() < 1e-9);
+        assert!((p[2][0] - 0.5).abs() < 1e-9, "{p:?}");
+    }
+
+    #[test]
+    fn span_ending_exactly_on_bucket_boundary_stays_in_its_bucket() {
+        // Busy 0..250 of 1000 over 4 buckets: exactly fills bucket 0 and
+        // must not leak into bucket 1.
+        let spans = vec![span(0, 0, 250)];
+        let p = utilization_profile(&spans, 1, 1000, 4);
+        assert!((p[0][0] - 1.0).abs() < 1e-9);
+        assert!((p[1][0] - 0.0).abs() < 1e-9);
+        // And a span *starting* exactly on a boundary stays out of the
+        // earlier bucket.
+        let spans = vec![span(0, 250, 500)];
+        let p = utilization_profile(&spans, 1, 1000, 4);
+        assert!((p[0][0] - 0.0).abs() < 1e-9);
+        assert!((p[1][0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_with_zero_pes_reports_idle_not_full() {
+        // Regression: the min fold used to seed at 1.0, so an empty row
+        // (zero PEs) rendered as min=100%.
+        let p = utilization_profile(&[], 0, 1000, 2);
+        let s = render_profile(&p, 1000);
+        for line in s.lines().skip(1) {
+            assert!(line.contains("0%"), "{line}");
+            assert!(!line.contains("100%"), "{line}");
+        }
     }
 }
