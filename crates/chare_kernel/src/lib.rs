@@ -60,6 +60,7 @@ pub mod envelope;
 pub mod ids;
 pub mod msg;
 pub mod node;
+pub mod pool;
 pub mod priority;
 pub mod program;
 pub mod queueing;

@@ -27,7 +27,8 @@ use crate::queueing::SchedQueue;
 use crate::quiescence::{QdAction, QdCoordinator};
 use crate::registry::Registry;
 use crate::reliable::{
-    ack_payload, frame_payload, frame_wire_bytes, Accept, RedirectSeed, RelState, ReliableConfig,
+    ack_payload, frame_payload, frame_wire_bytes, rel_ack_wire_bytes, Accept, RedirectSeed,
+    RelState, ReliableConfig,
 };
 use crate::shared::{QuiescenceMsg, TableAck, WoReady};
 use crate::stats::KernelCounters;
@@ -292,9 +293,12 @@ impl CkNode {
             if self.outbuf[to].is_empty() {
                 continue;
             }
-            let batch = std::mem::take(&mut self.outbuf[to]);
+            let hint = self.outbuf[to].len();
+            let mut batch = std::mem::replace(&mut self.outbuf[to], crate::pool::batch(hint));
             let sys = if batch.len() == 1 {
-                batch.into_iter().next().expect("len checked")
+                let only = batch.pop().expect("len checked");
+                crate::pool::recycle_batch(batch);
+                only
             } else {
                 SysMsg::Batch(batch)
             };
@@ -310,7 +314,8 @@ impl CkNode {
     /// quiescence counters.
     fn wire_send(&mut self, net: &mut dyn NetCtx, to: Pe, sys: SysMsg) {
         if to == self.pe || self.rel.is_none() {
-            net.send(to, sys.wire_bytes(), Box::new(sys));
+            let bytes = sys.wire_bytes();
+            net.send(to, bytes, crate::pool::payload(sys));
             return;
         }
         // Only seeds still subject to load balancing may be re-homed if
@@ -369,7 +374,7 @@ impl CkNode {
             return false;
         }
         for (to, seqs) in acks {
-            let bytes = SysMsg::RelAck { seqs: seqs.clone() }.wire_bytes();
+            let bytes = rel_ack_wire_bytes(seqs.len());
             net.send(to, bytes, ack_payload(seqs));
             self.counters.acks_sent += 1;
         }
@@ -1082,9 +1087,10 @@ impl NodeProgram for CkNode {
             payload,
             ..
         } = pkt;
-        let sys = *payload
+        let bx = payload
             .downcast::<SysMsg>()
             .expect("kernel node received a non-kernel packet");
+        let sys = crate::pool::reclaim(bx);
         self.classify_incoming(at_ns, from, sys);
         self.note_backlog();
     }
@@ -1173,14 +1179,17 @@ impl CkNode {
                 if let Some(rel) = self.rel.as_mut() {
                     rel.on_ack(from, &seqs);
                 }
+                crate::pool::recycle_seq_vec(seqs);
                 return;
             }
             other => other,
         };
         if let SysMsg::Batch(inner) = sys {
-            for m in inner {
+            let mut inner = inner;
+            for m in inner.drain(..) {
                 self.classify_incoming(at, from, m);
             }
+            crate::pool::recycle_batch(inner);
             return;
         }
         if sys.counted() {

@@ -53,7 +53,7 @@ impl Priority {
                 let biased = (*v as u64) ^ (1 << 63);
                 let mut b = BitPrio::root();
                 for i in (0..64).rev() {
-                    b = b.child_bit((biased >> i) & 1 == 1);
+                    b.push_bit((biased >> i) & 1 == 1);
                 }
                 b
             }
@@ -66,19 +66,78 @@ impl Priority {
         match self {
             Priority::None => 1,
             Priority::Int(_) => 9,
-            Priority::Bits(b) => 1 + 4 + b.bits.len() as u32,
+            Priority::Bits(b) => 1 + 4 + b.bytes.as_slice().len() as u32,
         }
     }
 }
 
 /// A variable-length bitvector priority: a binary fraction in `[0, 1)`,
 /// most significant bit first. Smaller fraction = more urgent.
+///
+/// Storage is inline up to 128 bits — search-tree priorities are a few
+/// bits per level, so real programs essentially never leave the stack —
+/// and spills to the heap beyond that. Cloning an inline priority (the
+/// hot path: every prioritized send and queue insertion clones) is a
+/// plain memcpy with no allocation.
 #[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct BitPrio {
-    bits: Vec<u8>,
-    /// Number of valid bits; `bits` holds `ceil(len/8)` bytes, padded
-    /// with zero bits.
+    bytes: PrioBytes,
+    /// Number of valid bits; the byte storage holds `ceil(len/8)`
+    /// bytes, padded with zero bits.
     len: u32,
+}
+
+/// Byte storage for [`BitPrio`]: a fixed inline buffer or a heap spill.
+///
+/// Canonical representation: `Inline` whenever the byte count fits,
+/// `Heap` only beyond that. Growth is monotone and one byte at a time,
+/// so equal logical values always share a variant — the derived
+/// `PartialEq`/`Hash` (which see the whole inline buffer, trailing
+/// zeros included) therefore agree with slice equality.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum PrioBytes {
+    Inline { n: u8, buf: [u8; Self::INLINE] },
+    Heap(Vec<u8>),
+}
+
+impl PrioBytes {
+    const INLINE: usize = 16;
+
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            PrioBytes::Inline { n, buf } => &buf[..*n as usize],
+            PrioBytes::Heap(v) => v,
+        }
+    }
+
+    fn push_zero_byte(&mut self) {
+        match self {
+            PrioBytes::Inline { n, .. } if (*n as usize) < Self::INLINE => *n += 1,
+            PrioBytes::Inline { n, buf } => {
+                let mut v = Vec::with_capacity(*n as usize + 1);
+                v.extend_from_slice(&buf[..*n as usize]);
+                v.push(0);
+                *self = PrioBytes::Heap(v);
+            }
+            PrioBytes::Heap(v) => v.push(0),
+        }
+    }
+
+    fn or_byte(&mut self, idx: usize, mask: u8) {
+        match self {
+            PrioBytes::Inline { buf, .. } => buf[idx] |= mask,
+            PrioBytes::Heap(v) => v[idx] |= mask,
+        }
+    }
+}
+
+impl Default for PrioBytes {
+    fn default() -> Self {
+        PrioBytes::Inline {
+            n: 0,
+            buf: [0; Self::INLINE],
+        }
+    }
 }
 
 impl BitPrio {
@@ -101,8 +160,20 @@ impl BitPrio {
     /// Bit `i` (0 = most significant).
     pub fn bit(&self, i: u32) -> bool {
         debug_assert!(i < self.len);
-        let byte = self.bits[(i / 8) as usize];
+        let byte = self.bytes.as_slice()[(i / 8) as usize];
         (byte >> (7 - (i % 8))) & 1 == 1
+    }
+
+    /// Append one bit in place (shared by the cloning constructors).
+    pub(crate) fn push_bit(&mut self, bit: bool) {
+        let i = self.len;
+        if i.is_multiple_of(8) {
+            self.bytes.push_zero_byte();
+        }
+        if bit {
+            self.bytes.or_byte((i / 8) as usize, 1 << (7 - (i % 8)));
+        }
+        self.len += 1;
     }
 
     /// Extend with one bit, returning the refined priority. Appending
@@ -111,15 +182,7 @@ impl BitPrio {
     /// already-more-urgent sibling subtree.
     pub fn child_bit(&self, bit: bool) -> BitPrio {
         let mut out = self.clone();
-        let i = out.len;
-        if i.is_multiple_of(8) {
-            out.bits.push(0);
-        }
-        if bit {
-            let idx = (i / 8) as usize;
-            out.bits[idx] |= 1 << (7 - (i % 8));
-        }
-        out.len += 1;
+        out.push_bit(bit);
         out
     }
 
@@ -137,9 +200,18 @@ impl BitPrio {
         );
         let mut out = self.clone();
         for i in (0..width).rev() {
-            out = out.child_bit((value >> i) & 1 == 1);
+            out.push_bit((value >> i) & 1 == 1);
         }
         out
+    }
+
+    /// First stored byte, zero-padded — the radix the bucketed scheduler
+    /// queue sorts on. Safe as a coarse sort key because priorities that
+    /// compare equal always share it (trailing padding is all zeros) and
+    /// a strictly greater first byte implies a strictly greater
+    /// priority.
+    pub fn radix_byte(&self) -> u8 {
+        self.bytes.as_slice().first().copied().unwrap_or(0)
     }
 
     /// First 63 bits as an integer (for degraded ordering under the
@@ -168,19 +240,21 @@ impl Ord for BitPrio {
     /// compares *equal or smaller*: a parent is never less urgent than
     /// its children.
     fn cmp(&self, other: &Self) -> Ordering {
-        let common_bytes = self.bits.len().min(other.bits.len());
-        match self.bits[..common_bytes].cmp(&other.bits[..common_bytes]) {
+        let a = self.bytes.as_slice();
+        let b = other.bytes.as_slice();
+        let common_bytes = a.len().min(b.len());
+        match a[..common_bytes].cmp(&b[..common_bytes]) {
             Ordering::Equal => {
                 // All remaining bits of the longer one are compared to
                 // zero padding; any 1 bit makes it larger.
-                let (longer, flip) = if self.bits.len() > common_bytes {
-                    (self, false)
-                } else if other.bits.len() > common_bytes {
-                    (other, true)
+                let (longer, flip) = if a.len() > common_bytes {
+                    (a, false)
+                } else if b.len() > common_bytes {
+                    (b, true)
                 } else {
                     return Ordering::Equal;
                 };
-                let any_one = longer.bits[common_bytes..].iter().any(|&b| b != 0);
+                let any_one = longer[common_bytes..].iter().any(|&x| x != 0);
                 match (any_one, flip) {
                     (false, _) => Ordering::Equal,
                     (true, false) => Ordering::Greater,
@@ -273,6 +347,48 @@ mod tests {
         for i in 0..20 {
             assert_eq!(p.bit(i), i % 3 == 0, "bit {i}");
         }
+    }
+
+    #[test]
+    fn heap_spill_preserves_order_and_bits() {
+        // Push well past the 128-bit inline capacity and check the
+        // spilled representation keeps every accessor and the ordering
+        // consistent with a still-inline prefix.
+        let mut p = BitPrio::root();
+        for i in 0..300u32 {
+            p = p.child_bit(i % 5 == 0);
+        }
+        assert_eq!(p.len(), 300);
+        for i in 0..300 {
+            assert_eq!(p.bit(i), i % 5 == 0, "bit {i}");
+        }
+        // A strict prefix (inline) compares <= the long (heap) value,
+        // and flipping a late bit orders correctly across the spill.
+        let prefix = {
+            let mut q = BitPrio::root();
+            for i in 0..100u32 {
+                q = q.child_bit(i % 5 == 0);
+            }
+            q
+        };
+        assert!(prefix <= p);
+        let bigger = p.child_bit(true);
+        let same = p.child_bit(false);
+        assert!(p < bigger);
+        assert_eq!(p.cmp(&same), Ordering::Equal);
+        assert_eq!(p.radix_byte(), prefix.radix_byte());
+        // Wire size counts spilled bytes too.
+        assert_eq!(Priority::Bits(p).wire_bytes(), 1 + 4 + 38);
+    }
+
+    #[test]
+    fn inline_and_equalities_are_structural() {
+        let a = BitPrio::root().child(0b101, 3);
+        let b = BitPrio::root().child(0b101, 3);
+        let padded = a.child(0, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, padded, "structural equality distinguishes padding");
+        assert_eq!(a.cmp(&padded), Ordering::Equal, "ordering treats padding as equal");
     }
 
     #[test]

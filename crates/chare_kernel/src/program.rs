@@ -433,6 +433,13 @@ impl CkReport {
         }
     }
 
+    /// Borrow and downcast the program result without consuming it —
+    /// for shared reports (the bench harness memoizes runs behind `Rc`,
+    /// so [`CkReport::take_result`]'s `&mut self` is unavailable).
+    pub fn result_ref<T: 'static>(&self) -> Option<&T> {
+        self.result.as_ref()?.downcast_ref::<T>()
+    }
+
     /// Sum of a kernel counter across PEs.
     pub fn counter_total(&self, name: &str) -> u64 {
         self.node_stats

@@ -11,6 +11,17 @@
 //! Ties (equal priority) are always broken FIFO using a push sequence
 //! number, making every strategy a total, deterministic order — a
 //! prerequisite for the simulator's reproducibility.
+//!
+//! Like the C kernel — whose scheduler kept constant-time bucketed
+//! queues because a `log n` heap operation per message *is* measurable
+//! kernel overhead — the two priority disciplines here front a bucket
+//! array with an occupancy bitmap: [`IntPrioQueue`] buckets a window of
+//! integer keys (O(1) push/pop, intrusive FIFO per bucket),
+//! [`BitPrioQueue`] radix-buckets bitvector keys on their first byte.
+//! The original single-`BinaryHeap` implementations survive as
+//! [`HeapIntPrioQueue`] / [`HeapBitPrioQueue`]: they are the reference
+//! order the property tests check the bucketed queues against,
+//! pop-for-pop.
 
 use crate::priority::{BitPrio, Priority};
 use std::cmp::Ordering;
@@ -148,22 +159,24 @@ impl<T> Ord for IntEntry<T> {
     }
 }
 
-/// Integer-priority queue: smaller key pops first, FIFO among equals.
-pub struct IntPrioQueue<T> {
+/// Reference integer-priority queue: a single binary heap, `O(log n)`
+/// per operation. Kept as the specification the bucketed
+/// [`IntPrioQueue`] is property-tested against.
+pub struct HeapIntPrioQueue<T> {
     heap: BinaryHeap<IntEntry<T>>,
     seq: u64,
 }
 
-impl<T> Default for IntPrioQueue<T> {
+impl<T> Default for HeapIntPrioQueue<T> {
     fn default() -> Self {
-        IntPrioQueue {
+        HeapIntPrioQueue {
             heap: BinaryHeap::new(),
             seq: 0,
         }
     }
 }
 
-impl<T: Send> SchedQueue<T> for IntPrioQueue<T> {
+impl<T: Send> SchedQueue<T> for HeapIntPrioQueue<T> {
     fn push(&mut self, prio: Priority, item: T) {
         let seq = self.seq;
         self.seq += 1;
@@ -178,6 +191,125 @@ impl<T: Send> SchedQueue<T> for IntPrioQueue<T> {
     }
     fn len(&self) -> usize {
         self.heap.len()
+    }
+}
+
+/// Width of the integer queue's bucketed key window.
+const INT_WINDOW: usize = 1024;
+/// How far below the first key the window starts. Search keys (IDA*
+/// bounds, branch-and-bound costs) mostly grow, so most of the window
+/// sits above the first key.
+const INT_HEADROOM: i128 = 128;
+
+/// Integer-priority queue: smaller key pops first, FIFO among equals.
+///
+/// Bucketed bitmap design: a window of [`INT_WINDOW`] consecutive keys,
+/// anchored near the first key pushed, maps each key to a FIFO bucket;
+/// a bitmap word per 64 buckets finds the lowest occupied bucket in a
+/// few `trailing_zeros`. Push and pop are O(1) for in-window keys —
+/// the key ranges the paper's search applications actually generate —
+/// and out-of-window keys spill to a reference heap. Both structures
+/// pop the globally smallest `(key, seq)`: a key is in exactly one of
+/// them (window membership is a function of the key), so comparing the
+/// best of each side is a total, deterministic order identical to
+/// [`HeapIntPrioQueue`]'s.
+///
+/// Window arithmetic is done in `i128` so keys near `i64::MIN`/`MAX`
+/// cannot overflow.
+pub struct IntPrioQueue<T> {
+    /// Key of bucket 0, fixed when the first key arrives.
+    base: Option<i128>,
+    /// FIFO per in-window key; allocated lazily, `INT_WINDOW` long.
+    buckets: Vec<VecDeque<T>>,
+    /// Occupancy bit per bucket.
+    bitmap: [u64; INT_WINDOW / 64],
+    /// Out-of-window spill, still ordered by `(key, seq)`.
+    overflow: BinaryHeap<IntEntry<T>>,
+    /// Push sequence shared by both sides (FIFO among equals).
+    seq: u64,
+    len: usize,
+}
+
+impl<T> Default for IntPrioQueue<T> {
+    fn default() -> Self {
+        IntPrioQueue {
+            base: None,
+            buckets: Vec::new(),
+            bitmap: [0; INT_WINDOW / 64],
+            overflow: BinaryHeap::new(),
+            seq: 0,
+            len: 0,
+        }
+    }
+}
+
+impl<T> IntPrioQueue<T> {
+    /// Index of the lowest occupied bucket, if any.
+    fn min_bucket(&self) -> Option<usize> {
+        self.bitmap
+            .iter()
+            .enumerate()
+            .find(|(_, &w)| w != 0)
+            .map(|(i, &w)| i * 64 + w.trailing_zeros() as usize)
+    }
+}
+
+impl<T: Send> SchedQueue<T> for IntPrioQueue<T> {
+    fn push(&mut self, prio: Priority, item: T) {
+        let key = prio.int_key() as i128;
+        let seq = self.seq;
+        self.seq += 1;
+        self.len += 1;
+        let base = *self.base.get_or_insert_with(|| {
+            debug_assert!(self.buckets.is_empty());
+            key - INT_HEADROOM
+        });
+        let idx = key - base;
+        if (0..INT_WINDOW as i128).contains(&idx) {
+            let idx = idx as usize;
+            if self.buckets.is_empty() {
+                self.buckets.resize_with(INT_WINDOW, VecDeque::new);
+            }
+            self.buckets[idx].push_back(item);
+            self.bitmap[idx / 64] |= 1 << (idx % 64);
+        } else {
+            self.overflow.push(IntEntry {
+                key: key as i64,
+                seq,
+                item,
+            });
+        }
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        let bucket = self.min_bucket();
+        // A key lives on exactly one side, so when both sides are
+        // occupied the smaller key wins outright (never a tie).
+        let from_bucket = match (bucket, self.overflow.peek()) {
+            (Some(b), Some(top)) => {
+                self.base.expect("bucket occupied implies base") + (b as i128) < top.key as i128
+            }
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        let popped = if from_bucket {
+            let b = bucket.expect("checked above");
+            let item = self.buckets[b].pop_front();
+            if self.buckets[b].is_empty() {
+                self.bitmap[b / 64] &= !(1 << (b % 64));
+            }
+            item
+        } else {
+            self.overflow.pop().map(|e| e.item)
+        };
+        if popped.is_some() {
+            self.len -= 1;
+        }
+        popped
+    }
+
+    fn len(&self) -> usize {
+        self.len
     }
 }
 
@@ -208,23 +340,24 @@ impl<T> Ord for BitEntry<T> {
     }
 }
 
-/// Bitvector-priority queue: lexicographically smallest key pops first,
-/// FIFO among equals.
-pub struct BitPrioQueue<T> {
+/// Reference bitvector-priority queue: a single binary heap comparing
+/// whole keys. Kept as the specification the radix-bucketed
+/// [`BitPrioQueue`] is property-tested against.
+pub struct HeapBitPrioQueue<T> {
     heap: BinaryHeap<BitEntry<T>>,
     seq: u64,
 }
 
-impl<T> Default for BitPrioQueue<T> {
+impl<T> Default for HeapBitPrioQueue<T> {
     fn default() -> Self {
-        BitPrioQueue {
+        HeapBitPrioQueue {
             heap: BinaryHeap::new(),
             seq: 0,
         }
     }
 }
 
-impl<T: Send> SchedQueue<T> for BitPrioQueue<T> {
+impl<T: Send> SchedQueue<T> for HeapBitPrioQueue<T> {
     fn push(&mut self, prio: Priority, item: T) {
         let seq = self.seq;
         self.seq += 1;
@@ -239,6 +372,75 @@ impl<T: Send> SchedQueue<T> for BitPrioQueue<T> {
     }
     fn len(&self) -> usize {
         self.heap.len()
+    }
+}
+
+/// Bitvector-priority queue: lexicographically smallest key pops first,
+/// FIFO among equals.
+///
+/// Radix-bucketed front: keys are spread over 256 buckets by their
+/// first byte ([`BitPrio::radix_byte`]), with an occupancy bitmap to
+/// find the lowest nonempty bucket in at most four `trailing_zeros`.
+/// Sound because priorities that compare equal always share their first
+/// byte and a strictly greater first byte is a strictly greater key —
+/// so cross-bucket order needs no key comparison at all, and the
+/// expensive byte-vector comparisons are confined to the (much
+/// smaller) per-bucket heaps. The push sequence is global, so FIFO
+/// among equals and overall pop order match [`HeapBitPrioQueue`]
+/// exactly.
+pub struct BitPrioQueue<T> {
+    /// Per-radix heaps; allocated lazily, 256 long.
+    buckets: Vec<BinaryHeap<BitEntry<T>>>,
+    /// Occupancy bit per bucket.
+    bitmap: [u64; 4],
+    seq: u64,
+    len: usize,
+}
+
+impl<T> Default for BitPrioQueue<T> {
+    fn default() -> Self {
+        BitPrioQueue {
+            buckets: Vec::new(),
+            bitmap: [0; 4],
+            seq: 0,
+            len: 0,
+        }
+    }
+}
+
+impl<T: Send> SchedQueue<T> for BitPrioQueue<T> {
+    fn push(&mut self, prio: Priority, item: T) {
+        let key = prio.bit_key();
+        let seq = self.seq;
+        self.seq += 1;
+        self.len += 1;
+        if self.buckets.is_empty() {
+            self.buckets.resize_with(256, BinaryHeap::new);
+        }
+        let b = key.radix_byte() as usize;
+        self.buckets[b].push(BitEntry { key, seq, item });
+        self.bitmap[b / 64] |= 1 << (b % 64);
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        let b = self
+            .bitmap
+            .iter()
+            .enumerate()
+            .find(|(_, &w)| w != 0)
+            .map(|(i, &w)| i * 64 + w.trailing_zeros() as usize)?;
+        let item = self.buckets[b].pop().map(|e| e.item);
+        if self.buckets[b].is_empty() {
+            self.bitmap[b / 64] &= !(1 << (b % 64));
+        }
+        if item.is_some() {
+            self.len -= 1;
+        }
+        item
+    }
+
+    fn len(&self) -> usize {
+        self.len
     }
 }
 
@@ -324,6 +526,116 @@ mod tests {
             assert!(q.is_empty(), "{strat:?}");
             assert_eq!(q.pop(), None);
         }
+    }
+
+    #[test]
+    fn int_bucket_overflow_spill_keeps_order() {
+        // Keys far outside the window (anchored near the first push)
+        // must spill to the overflow heap and still pop in key order.
+        let mut q = IntPrioQueue::<u32>::default();
+        q.push(Priority::Int(0), 10); // anchors the window near 0
+        q.push(Priority::Int(1_000_000), 40);
+        q.push(Priority::Int(-1_000_000), 0);
+        q.push(Priority::Int(5), 20);
+        q.push(Priority::Int(2_000), 30);
+        assert_eq!(drain(&mut q), vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn int_bucket_extreme_keys_do_not_overflow_arithmetic() {
+        let mut q = IntPrioQueue::<u32>::default();
+        q.push(Priority::Int(i64::MAX), 3);
+        q.push(Priority::Int(i64::MIN), 1);
+        q.push(Priority::Int(0), 2);
+        q.push(Priority::Int(i64::MAX - 10), 3);
+        assert_eq!(drain(&mut q), vec![1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn int_bucket_fifo_among_equals_across_sides() {
+        let mut q = IntPrioQueue::<u32>::default();
+        for v in 0..6 {
+            q.push(Priority::Int(7), v); // same in-window key
+        }
+        for v in 6..9 {
+            q.push(Priority::Int(99_999), v); // same overflow key
+        }
+        assert_eq!(drain(&mut q), (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bitvec_radix_crosses_byte_boundaries() {
+        use crate::priority::BitPrio;
+        let root = BitPrio::root();
+        // Keys whose first bytes differ (radix buckets) interleaved with
+        // keys that share byte 0 and differ later.
+        let a = root.child(0, 8).child(5, 8); // 0x00 0x05
+        let b = root.child(0, 8).child(9, 8); // 0x00 0x09
+        let c = root.child(1, 8); // 0x01
+        let d = root.child(200, 8); // 0xC8
+        let mut q = BitPrioQueue::<&str>::default();
+        q.push(Priority::Bits(d.clone()), "d");
+        q.push(Priority::Bits(b.clone()), "b");
+        q.push(Priority::Bits(root.clone()), "root");
+        q.push(Priority::Bits(c.clone()), "c");
+        q.push(Priority::Bits(a.clone()), "a");
+        assert_eq!(drain(&mut q), vec!["root", "a", "b", "c", "d"]);
+    }
+
+    /// The pop sequence of a bucketed queue must match its reference
+    /// heap exactly under an arbitrary interleaving of pushes and pops.
+    fn check_equivalence(
+        mut fast: Box<dyn SchedQueue<u32>>,
+        mut reference: Box<dyn SchedQueue<u32>>,
+        prios: impl Fn(u32) -> Priority,
+    ) {
+        let mut v = 0u32;
+        // Deterministic but irregular schedule: bursts of pushes
+        // separated by partial drains.
+        for round in 0..50u32 {
+            for k in 0..(round % 7 + 1) {
+                let p = prios(round.wrapping_mul(31).wrapping_add(k));
+                fast.push(p.clone(), v);
+                reference.push(p, v);
+                v += 1;
+            }
+            for _ in 0..(round % 5) {
+                assert_eq!(fast.pop(), reference.pop(), "round {round}");
+                assert_eq!(fast.len(), reference.len());
+            }
+        }
+        loop {
+            let (a, b) = (fast.pop(), reference.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn int_bucket_matches_reference_heap() {
+        check_equivalence(
+            Box::new(IntPrioQueue::default()),
+            Box::new(HeapIntPrioQueue::default()),
+            |x| Priority::Int((x % 23) as i64 * 1_000 - 4_000),
+        );
+    }
+
+    #[test]
+    fn bitvec_radix_matches_reference_heap() {
+        use crate::priority::BitPrio;
+        check_equivalence(
+            Box::new(BitPrioQueue::default()),
+            Box::new(HeapBitPrioQueue::default()),
+            |x| {
+                let mut p = BitPrio::root();
+                for i in 0..(x % 4) {
+                    p = p.child((x >> (i * 3)) & 7, 3);
+                }
+                Priority::Bits(p)
+            },
+        );
     }
 
     #[test]

@@ -219,13 +219,19 @@ pub(crate) fn frame_wire_bytes(inner_bytes: u32) -> u32 {
     ENVELOPE_HEADER + (inner_bytes + REL_HEADER).saturating_sub(ENVELOPE_HEADER)
 }
 
+/// Wire size of a `RelAck` carrying `n` sequence numbers, computed
+/// without materializing the message.
+pub(crate) fn rel_ack_wire_bytes(n: usize) -> u32 {
+    crate::envelope::ENVELOPE_HEADER + 4 + 8 * n as u32
+}
+
 /// Build the wire payload for a reliable frame. `Replayable` so the
 /// simulator's duplication fault can actually copy it — which is what
 /// exercises receiver-side dedup.
 pub(crate) fn frame_payload(seq: u64, inner_bytes: u32, slot: &RelSlot) -> Payload {
     let slot = Arc::clone(slot);
     Replayable::wrap(move || {
-        Box::new(SysMsg::RelData {
+        crate::pool::payload(SysMsg::RelData {
             seq,
             bytes: inner_bytes,
             slot: Arc::clone(&slot),
@@ -236,7 +242,11 @@ pub(crate) fn frame_payload(seq: u64, inner_bytes: u32, slot: &RelSlot) -> Paylo
 /// Build the wire payload for an ack frame (also duplicable: acks are
 /// idempotent).
 pub(crate) fn ack_payload(seqs: Vec<u64>) -> Payload {
-    Replayable::wrap(move || Box::new(SysMsg::RelAck { seqs: seqs.clone() }))
+    Replayable::wrap(move || {
+        let mut copy = crate::pool::seq_vec();
+        copy.extend_from_slice(&seqs);
+        crate::pool::payload(SysMsg::RelAck { seqs: copy })
+    })
 }
 
 impl RelState {
@@ -479,7 +489,7 @@ impl RelState {
         let mut out = Vec::new();
         for (i, acks) in self.pending_acks.iter_mut().enumerate() {
             if !acks.is_empty() {
-                out.push((Pe::from(i), std::mem::take(acks)));
+                out.push((Pe::from(i), std::mem::replace(acks, crate::pool::seq_vec())));
             }
         }
         out

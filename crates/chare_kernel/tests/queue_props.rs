@@ -2,7 +2,9 @@
 //! models: conservation, ordering, tie-breaking.
 
 use chare_kernel::priority::{BitPrio, Priority};
-use chare_kernel::queueing::QueueingStrategy;
+use chare_kernel::queueing::{
+    BitPrioQueue, HeapBitPrioQueue, HeapIntPrioQueue, IntPrioQueue, QueueingStrategy, SchedQueue,
+};
 use proptest::prelude::*;
 
 fn arb_priority() -> impl Strategy<Value = Priority> {
@@ -93,6 +95,106 @@ proptest! {
         let mut want: Vec<usize> = (0..prios.len()).collect();
         want.sort_by(|&a, &b| prios[a].cmp(&prios[b]).then(a.cmp(&b)));
         prop_assert_eq!(out, want);
+    }
+
+    /// The bucketed integer queue pops exactly what the reference heap
+    /// pops under a random interleaving of pushes (arbitrary i64 keys,
+    /// in- and out-of-window) and pops.
+    #[test]
+    fn int_bucket_pop_order_equals_heap(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                any::<i64>().prop_map(Some),
+                (-200i64..200).prop_map(Some), // in-window
+                Just(None),                    // pop
+            ],
+            0..300,
+        )
+    ) {
+        let mut fast = IntPrioQueue::<u32>::default();
+        let mut reference = HeapIntPrioQueue::<u32>::default();
+        let mut v = 0u32;
+        for op in ops {
+            match op {
+                Some(key) => {
+                    fast.push(Priority::Int(key), v);
+                    reference.push(Priority::Int(key), v);
+                    v += 1;
+                }
+                None => prop_assert_eq!(fast.pop(), reference.pop()),
+            }
+            prop_assert_eq!(fast.len(), reference.len());
+        }
+        loop {
+            let (a, b) = (fast.pop(), reference.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// The radix-bucketed bitvector queue pops exactly what the
+    /// reference heap pops, including FIFO among equal keys.
+    #[test]
+    fn bitvec_radix_pop_order_equals_heap(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                proptest::collection::vec(0u32..16, 0..8).prop_map(Some),
+                proptest::collection::vec(0u32..16, 0..4).prop_map(Some),
+                Just(None), // pop
+            ],
+            0..300,
+        )
+    ) {
+        let mut fast = BitPrioQueue::<u32>::default();
+        let mut reference = HeapBitPrioQueue::<u32>::default();
+        let mut v = 0u32;
+        for op in ops {
+            match op {
+                Some(path) => {
+                    let mut p = BitPrio::root();
+                    for x in path {
+                        p = p.child(x, 4);
+                    }
+                    fast.push(Priority::Bits(p.clone()), v);
+                    reference.push(Priority::Bits(p), v);
+                    v += 1;
+                }
+                None => prop_assert_eq!(fast.pop(), reference.pop()),
+            }
+            prop_assert_eq!(fast.len(), reference.len());
+        }
+        loop {
+            let (a, b) = (fast.pop(), reference.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// FIFO among equals for the bucketed queues: equal keys come back
+    /// in push order no matter how they interleave with other keys.
+    #[test]
+    fn bucket_queues_fifo_among_equals(
+        keys in proptest::collection::vec(0i64..4, 0..200)
+    ) {
+        let mut int_q = IntPrioQueue::<usize>::default();
+        let mut bit_q = BitPrioQueue::<usize>::default();
+        let prios: Vec<BitPrio> = (0..4)
+            .map(|k| BitPrio::root().child(k, 2))
+            .collect();
+        for (i, &k) in keys.iter().enumerate() {
+            int_q.push(Priority::Int(k), i);
+            bit_q.push(Priority::Bits(prios[k as usize].clone()), i);
+        }
+        let mut want: Vec<usize> = (0..keys.len()).collect();
+        want.sort_by_key(|&i| (keys[i], i));
+        let int_out: Vec<usize> = std::iter::from_fn(|| int_q.pop()).collect();
+        let bit_out: Vec<usize> = std::iter::from_fn(|| bit_q.pop()).collect();
+        prop_assert_eq!(int_out, want.clone());
+        prop_assert_eq!(bit_out, want);
     }
 
     /// Interleaved pushes and pops keep `len` consistent and never lose

@@ -8,6 +8,8 @@
 //! cargo run --release -p ck_bench --bin tables -- --table p --quick
 //! cargo run --release -p ck_bench --bin tables -- --matrix fib --quick
 //! cargo run --release -p ck_bench --bin tables -- --export-trace fib --out fib.json
+//! cargo run --release -p ck_bench --bin tables -- --all --jobs 4
+//! cargo run --release -p ck_bench --bin tables -- --host-perf --bench-out BENCH_5.json
 //! ```
 
 use std::io::Write as _;
@@ -23,10 +25,17 @@ fn usage() -> ! {
     eprintln!(
         "usage: tables [--all | --table N | --fig N | --matrix APP | --export-trace APP]\n\
          \x20              [--quick] [--csv | --md] [--out PATH]\n\
+         \x20              [--jobs N | --serial] [--no-cache]\n\
+         \x20              [--host-perf [--bench-out PATH]]\n\
          tables: 1..=8, r (resilience), p (overhead attribution)   figures: 1..=8\n\
          --matrix APP        PExPE message matrix for one benchmark (e.g. fib)\n\
          --export-trace APP  Chrome trace-event JSON for one benchmark\n\
-         \x20                  (open at https://ui.perfetto.dev); --out writes to a file"
+         \x20                  (open at https://ui.perfetto.dev); --out writes to a file\n\
+         --jobs N            regenerate tables on N worker threads (default: host CPUs);\n\
+         \x20                  output is byte-identical to --serial\n\
+         --no-cache          disable the deterministic run memo (slower, same bytes)\n\
+         --host-perf         run --all, report per-table host cost, and write a\n\
+         \x20                  BENCH JSON baseline (default BENCH_5.json)"
     );
     std::process::exit(2);
 }
@@ -41,6 +50,10 @@ fn main() {
     let mut exports: Vec<String> = Vec::new();
     let mut out: Option<String> = None;
     let mut all = false;
+    let mut jobs: Option<usize> = None;
+    let mut cache = true;
+    let mut host_perf = false;
+    let mut bench_out = String::from("BENCH_5.json");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -48,6 +61,24 @@ fn main() {
             "--csv" => csv = true,
             "--md" => md = true,
             "--all" => all = true,
+            "--serial" => jobs = Some(1),
+            "--jobs" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .and_then(|a| a.parse().ok())
+                    .unwrap_or_else(|| usage());
+                jobs = Some(n.max(1));
+            }
+            "--no-cache" => cache = false,
+            "--host-perf" => {
+                host_perf = true;
+                all = true;
+            }
+            "--bench-out" => {
+                i += 1;
+                bench_out = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
             "--table" | "--fig" => {
                 let is_table = args[i] == "--table";
                 i += 1;
@@ -103,11 +134,22 @@ fn main() {
         }
     };
 
+    let jobs = jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    ck_bench::runner::set_caching(cache);
+    let start = std::time::Instant::now();
+    let mut bench: Option<(Vec<ck_bench::BenchRecord>, ck_bench::runner::CacheStats)> = None;
     let mut tables: Vec<Table> = if all {
-        ck_bench::all(scale)
+        let (tables, records, stats) = ck_bench::driver::run_all_recording(scale, jobs, cache);
+        bench = Some((records, stats));
+        tables
     } else {
         which.iter().map(|&(t, id)| run(t, id)).collect()
     };
+    let total_wall_ns = start.elapsed().as_nanos() as u64;
     tables.extend(matrices.iter().map(|m| ck_bench::comm_matrix_table(scale, m)));
     for t in tables {
         if csv {
@@ -118,6 +160,22 @@ fn main() {
         } else {
             println!("{t}");
         }
+    }
+
+    if host_perf {
+        let (records, stats) = bench.expect("--host-perf implies --all");
+        let json =
+            ck_bench::driver::bench_json(scale, jobs, cache, total_wall_ns, &records, stats);
+        ck_trace::json_lint::validate(&json)
+            .unwrap_or_else(|e| panic!("generated bench JSON failed lint: {e}"));
+        std::fs::write(&bench_out, &json)
+            .unwrap_or_else(|e| panic!("cannot write {bench_out}: {e}"));
+        eprintln!(
+            "host-perf: {:.1} ms wall on {jobs} job thread(s); {} runs simulated, {} memoized; wrote {bench_out}",
+            total_wall_ns as f64 / 1e6,
+            stats.misses,
+            stats.hits,
+        );
     }
 
     for app in &exports {

@@ -1,0 +1,271 @@
+//! Table driver: the ordered job list behind `tables --all`, an
+//! optional thread-parallel runner, and the `--host-perf` harness that
+//! records host-side cost (wall-clock, simulator events/sec, peak RSS)
+//! into a `BENCH_*.json` baseline.
+//!
+//! Each job regenerates one table/figure and is independent of every
+//! other: tables share no mutable state (the run memo in
+//! [`crate::runner`] is thread-local) and each is deterministic in
+//! isolation, so running them on a thread pool produces byte-identical
+//! output to the serial order — only the wall-clock changes. Results
+//! are collected into order-indexed slots, never in completion order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::experiments::{self, Scale};
+use crate::table::Table;
+
+/// One named table-regeneration job.
+pub type TableJob = (&'static str, fn(Scale) -> Table);
+
+/// Every table/figure of the evaluation, in output order.
+pub fn table_jobs() -> Vec<TableJob> {
+    vec![
+        ("table1", experiments::table1 as fn(Scale) -> Table),
+        ("table2", experiments::table2),
+        ("table3", experiments::table3),
+        ("table4", experiments::table4),
+        ("table5", experiments::table5),
+        ("table6", experiments::table6),
+        ("table7", experiments::table7),
+        ("table8", experiments::table8),
+        ("fig1", experiments::fig1),
+        ("fig2", experiments::fig2),
+        ("fig3", experiments::fig3),
+        ("fig4", experiments::fig4),
+        ("fig5", experiments::fig5),
+        ("fig6", experiments::fig6),
+        ("fig7", experiments::fig7),
+        ("fig8", experiments::fig8),
+        ("table_r", experiments::table_r),
+        ("table_p", crate::trace_view::table_p),
+    ]
+}
+
+/// Host-side cost of regenerating one table.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchRecord {
+    /// Job name (`table1` … `table_p`).
+    pub name: &'static str,
+    /// Wall-clock nanoseconds spent in the job.
+    pub wall_ns: u64,
+    /// Simulator events processed by the job's fresh runs (memoized
+    /// runs contribute zero — they cost no host time).
+    pub events: u64,
+}
+
+/// Run every job and return the tables in output order. `jobs <= 1`
+/// runs serially on the calling thread; larger values use a thread
+/// pool. Table bytes are identical either way.
+pub fn run_all(scale: Scale, jobs: usize) -> Vec<Table> {
+    run_all_recording(scale, jobs, true).0
+}
+
+/// [`run_all`], also recording per-job host cost and the total count
+/// of simulated vs memoized runs across all workers. `cache` toggles
+/// the deterministic run memo on every worker thread.
+pub fn run_all_recording(
+    scale: Scale,
+    jobs: usize,
+    cache: bool,
+) -> (Vec<Table>, Vec<BenchRecord>, crate::runner::CacheStats) {
+    let list = table_jobs();
+    let n = list.len();
+    let workers = jobs.clamp(1, n);
+
+    let run_one = |name: &'static str, f: fn(Scale) -> Table| {
+        multicomputer::take_events_tally();
+        let start = Instant::now();
+        let table = f(scale);
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        let events = multicomputer::take_events_tally();
+        (
+            table,
+            BenchRecord {
+                name,
+                wall_ns,
+                events,
+            },
+        )
+    };
+
+    if workers <= 1 {
+        crate::runner::set_caching(cache);
+        let before = crate::runner::cache_stats();
+        let (tables, records) = list.into_iter().map(|(name, f)| run_one(name, f)).unzip();
+        let after = crate::runner::cache_stats();
+        let stats = crate::runner::CacheStats {
+            hits: after.hits - before.hits,
+            misses: after.misses - before.misses,
+            entries: after.entries,
+        };
+        return (tables, records, stats);
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<(Table, BenchRecord)>>> =
+        Mutex::new((0..n).map(|_| None).collect());
+    let totals = Mutex::new(crate::runner::CacheStats::default());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                crate::runner::set_caching(cache);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let (name, f) = list[i];
+                    let done = run_one(name, f);
+                    slots.lock().unwrap()[i] = Some(done);
+                }
+                let mine = crate::runner::cache_stats();
+                let mut t = totals.lock().unwrap();
+                t.hits += mine.hits;
+                t.misses += mine.misses;
+                t.entries += mine.entries;
+            });
+        }
+    });
+    let (tables, records) = slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|slot| slot.expect("every job slot filled"))
+        .unzip();
+    (tables, records, totals.into_inner().unwrap())
+}
+
+/// Peak resident set size of this process in kilobytes, from
+/// `/proc/self/status` (`VmHWM`). Zero where unavailable.
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches(" kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Render the `BENCH_*.json` document: per-table wall-clock and
+/// events/sec plus whole-process totals. Hand-built JSON (the repo
+/// vendors no serializer); `ck_trace::json_lint` checks it before it
+/// is written.
+pub fn bench_json(
+    scale: Scale,
+    jobs: usize,
+    cache_on: bool,
+    total_wall_ns: u64,
+    records: &[BenchRecord],
+    stats: crate::runner::CacheStats,
+) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"tables\",\n");
+    out.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    ));
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str(&format!("  \"run_memo\": {cache_on},\n"));
+    out.push_str(&format!(
+        "  \"runs_simulated\": {},\n  \"runs_memoized\": {},\n",
+        stats.misses, stats.hits
+    ));
+    let total_events: u64 = records.iter().map(|r| r.events).sum();
+    out.push_str(&format!(
+        "  \"total_wall_ms\": {:.1},\n",
+        total_wall_ns as f64 / 1e6
+    ));
+    out.push_str(&format!("  \"total_events\": {total_events},\n"));
+    out.push_str(&format!(
+        "  \"events_per_sec\": {:.0},\n",
+        total_events as f64 / (total_wall_ns.max(1) as f64 / 1e9)
+    ));
+    out.push_str(&format!("  \"peak_rss_kb\": {},\n", peak_rss_kb()));
+    out.push_str("  \"tables\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let evps = r.events as f64 / (r.wall_ns.max(1) as f64 / 1e9);
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.1}, \"events\": {}, \"events_per_sec\": {:.0}}}{}\n",
+            r.name,
+            r.wall_ns as f64 / 1e6,
+            r.events,
+            evps,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_cover_all_in_order() {
+        let names: Vec<&str> = table_jobs().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.len(), 18);
+        assert_eq!(names[0], "table1");
+        assert_eq!(names[8], "fig1");
+        assert_eq!(names[16], "table_r");
+        assert_eq!(names[17], "table_p");
+    }
+
+    #[test]
+    fn bench_json_is_valid_and_complete() {
+        let records = [
+            BenchRecord {
+                name: "table1",
+                wall_ns: 1_234_567,
+                events: 1000,
+            },
+            BenchRecord {
+                name: "table2",
+                wall_ns: 7_654_321,
+                events: 2000,
+            },
+        ];
+        let json = bench_json(
+            Scale::Quick,
+            2,
+            true,
+            10_000_000,
+            &records,
+            crate::runner::CacheStats {
+                hits: 3,
+                misses: 5,
+                entries: 5,
+            },
+        );
+        ck_trace::json_lint::validate(&json).expect("bench JSON must lint");
+        for key in [
+            "\"bench\"",
+            "\"scale\"",
+            "\"jobs\"",
+            "\"total_wall_ms\"",
+            "\"events_per_sec\"",
+            "\"peak_rss_kb\"",
+            "\"tables\"",
+            "\"runs_memoized\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn peak_rss_reads_something_on_linux() {
+        // On Linux this must parse; elsewhere 0 is acceptable.
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_kb() > 0);
+        }
+    }
+}

@@ -36,6 +36,9 @@ impl Scale {
 pub struct AppCase {
     /// Stable name used in tables.
     pub name: &'static str,
+    /// `Debug` rendering of the parameter struct the builder closes
+    /// over — the memoized runner folds it into scenario labels.
+    pub params: String,
     /// Build with explicit strategies.
     pub build: Box<dyn Fn(QueueingStrategy, BalanceStrategy) -> Program>,
     /// Queueing strategy the speedup tables use.
@@ -48,6 +51,21 @@ impl AppCase {
     /// Build with the table-default strategies.
     pub fn build_default(&self) -> Program {
         (self.build)(self.queueing, self.balance.clone())
+    }
+
+    /// Scenario label for the table-default strategies.
+    pub fn label(&self) -> String {
+        self.label_with(self.queueing, &self.balance, false)
+    }
+
+    /// Scenario label for explicit strategies / combining flag.
+    pub fn label_with(
+        &self,
+        queueing: QueueingStrategy,
+        balance: &BalanceStrategy,
+        combining: bool,
+    ) -> String {
+        crate::runner::scenario_label(self.name, &self.params, queueing, balance, combining)
     }
 }
 
@@ -142,54 +160,63 @@ pub fn standard_suite(scale: Scale) -> Vec<AppCase> {
     vec![
         AppCase {
             name: "fib",
+            params: format!("{fib_params:?}"),
             build: Box::new(move |q, b| fib::build(fib_params, q, b)),
             queueing: QueueingStrategy::Fifo,
             balance: BalanceStrategy::acwn(),
         },
         AppCase {
             name: "nqueens",
+            params: format!("{queens_params:?}"),
             build: Box::new(move |q, b| nqueens::build(queens_params, q, b)),
             queueing: QueueingStrategy::Fifo,
             balance: BalanceStrategy::Random,
         },
         AppCase {
             name: "tsp",
+            params: format!("{tsp_params:?}"),
             build: Box::new(move |q, b| tsp::build(tsp_params, q, b)),
             queueing: QueueingStrategy::BitvecPriority,
             balance: BalanceStrategy::Random,
         },
         AppCase {
             name: "puzzle",
+            params: format!("{puzzle_params:?}"),
             build: Box::new(move |q, b| puzzle::build(puzzle_params, q, b)),
             queueing: QueueingStrategy::IntPriority,
             balance: BalanceStrategy::Random,
         },
         AppCase {
             name: "jacobi",
+            params: format!("{jacobi_params:?}"),
             build: Box::new(move |q, b| jacobi::build(jacobi_params, q, b)),
             queueing: QueueingStrategy::Fifo,
             balance: BalanceStrategy::Local,
         },
         AppCase {
             name: "matmul",
+            params: format!("{matmul_params:?}"),
             build: Box::new(move |q, b| matmul::build(matmul_params, q, b)),
             queueing: QueueingStrategy::Fifo,
             balance: BalanceStrategy::Local,
         },
         AppCase {
             name: "quad",
+            params: format!("{quad_params:?}"),
             build: Box::new(move |q, b| quad::build(quad_params, q, b)),
             queueing: QueueingStrategy::Fifo,
             balance: BalanceStrategy::acwn(),
         },
         AppCase {
             name: "sort",
+            params: format!("{sort_params:?}"),
             build: Box::new(move |q, b| sortbench::build(sort_params, q, b)),
             queueing: QueueingStrategy::Fifo,
             balance: BalanceStrategy::Local,
         },
         AppCase {
             name: "primes",
+            params: format!("{primes_params:?}"),
             build: Box::new(move |q, b| primes::build(primes_params, q, b)),
             queueing: QueueingStrategy::Fifo,
             balance: BalanceStrategy::Random,
@@ -215,8 +242,9 @@ pub fn table1(scale: Scale) -> Table {
         ],
     );
     for case in standard_suite(scale) {
-        let prog = case.build_default();
-        let rep = prog.run_sim_preset(16, MachinePreset::NcubeLike);
+        let rep = crate::runner::run_preset(&case.label(), 16, MachinePreset::NcubeLike, || {
+            case.build_default()
+        });
         let bytes = rep.sim.as_ref().map(|s| s.bytes).unwrap_or(0);
         t.row(vec![
             case.name.into(),
@@ -242,11 +270,11 @@ fn speedup_table(title: &str, preset: MachinePreset, scale: Scale, pes: &[usize]
         notes: Vec::new(),
     };
     for case in standard_suite(scale) {
-        let prog = case.build_default();
-        let t1 = prog.run_sim_preset(1, preset).time_ns;
+        let label = case.label();
+        let t1 = crate::runner::run_preset(&label, 1, preset, || case.build_default()).time_ns;
         let mut row = vec![case.name.to_string()];
         for &p in pes {
-            let tp = prog.run_sim_preset(p, preset).time_ns;
+            let tp = crate::runner::run_preset(&label, p, preset, || case.build_default()).time_ns;
             row.push(format!("{:.2}", t1 as f64 / tp as f64));
         }
         t.row(row);
@@ -324,13 +352,20 @@ pub fn table4(scale: Scale) -> Table {
         .into_iter()
         .filter(|c| c.name == "fib" || c.name == "nqueens")
     {
-        let t1 = {
-            let prog = (case.build)(case.queueing, BalanceStrategy::Local);
-            prog.run_sim_preset(1, MachinePreset::NcubeLike).time_ns
-        };
+        let t1 = crate::runner::run_preset(
+            &case.label_with(case.queueing, &BalanceStrategy::Local, false),
+            1,
+            MachinePreset::NcubeLike,
+            || (case.build)(case.queueing, BalanceStrategy::Local),
+        )
+        .time_ns;
         for strat in &strategies {
-            let prog = (case.build)(case.queueing, strat.clone());
-            let rep = prog.run_sim_preset(npes, MachinePreset::NcubeLike);
+            let rep = crate::runner::run_preset(
+                &case.label_with(case.queueing, strat, false),
+                npes,
+                MachinePreset::NcubeLike,
+                || (case.build)(case.queueing, strat.clone()),
+            );
             let imb = rep.sim.as_ref().map(|s| s.imbalance).unwrap_or(f64::NAN);
             t.row(vec![
                 case.name.into(),
@@ -389,9 +424,17 @@ pub fn table5(scale: Scale) -> Table {
     let (_, puz_seq_nodes) = puzzle::ida_seq(start);
 
     for q in QueueingStrategy::ALL {
-        let prog = tsp::build(tsp_params, q, BalanceStrategy::Random);
-        let mut rep = prog.run_sim_preset(npes, MachinePreset::NcubeLike);
-        let res = rep.take_result::<tsp::TspResult>().expect("tsp result");
+        let label = crate::runner::scenario_label(
+            "tsp",
+            &format!("{tsp_params:?}"),
+            q,
+            &BalanceStrategy::Random,
+            false,
+        );
+        let rep = crate::runner::run_preset(&label, npes, MachinePreset::NcubeLike, || {
+            tsp::build(tsp_params, q, BalanceStrategy::Random)
+        });
+        let res = *rep.result_ref::<tsp::TspResult>().expect("tsp result");
         t.row(vec![
             "tsp".into(),
             q.name().into(),
@@ -401,10 +444,18 @@ pub fn table5(scale: Scale) -> Table {
         ]);
     }
     for q in QueueingStrategy::ALL {
-        let prog = puzzle::build(puzzle_params, q, BalanceStrategy::Random);
-        let mut rep = prog.run_sim_preset(npes, MachinePreset::NcubeLike);
-        let res = rep
-            .take_result::<puzzle::PuzzleResult>()
+        let label = crate::runner::scenario_label(
+            "puzzle",
+            &format!("{puzzle_params:?}"),
+            q,
+            &BalanceStrategy::Random,
+            false,
+        );
+        let rep = crate::runner::run_preset(&label, npes, MachinePreset::NcubeLike, || {
+            puzzle::build(puzzle_params, q, BalanceStrategy::Random)
+        });
+        let res = *rep
+            .result_ref::<puzzle::PuzzleResult>()
             .expect("puzzle result");
         t.row(vec![
             "puzzle".into(),
@@ -429,8 +480,11 @@ pub fn table6(scale: Scale) -> Table {
     let rounds = 500;
     for bytes in [0u32, 64, 1024] {
         let raw = raw_pingpong(rounds, bytes, MachinePreset::NcubeLike);
-        let prog = kernel_pingpong(rounds, bytes);
-        let kernel = prog.run_sim_preset(2, MachinePreset::NcubeLike).time_ns;
+        let label = format!("pingpong:rounds={rounds}:bytes={bytes}");
+        let kernel = crate::runner::run_preset(&label, 2, MachinePreset::NcubeLike, || {
+            kernel_pingpong(rounds, bytes)
+        })
+        .time_ns;
         let per_raw = raw as f64 / (2 * rounds) as f64 / 1000.0;
         let per_k = kernel as f64 / (2 * rounds) as f64 / 1000.0;
         t.row(vec![
@@ -444,10 +498,21 @@ pub fn table6(scale: Scale) -> Table {
         Scale::Quick => jacobi::JacobiParams { n: 64, iters: 10 },
         Scale::Full => jacobi::JacobiParams { n: 256, iters: 25 },
     };
+    // Same label shape as the suite's jacobi default (Fifo + Local), so
+    // at full scale these cells share the suite's 4- and 8-PE runs.
+    let jacobi_label = crate::runner::scenario_label(
+        "jacobi",
+        &format!("{params:?}"),
+        QueueingStrategy::Fifo,
+        &BalanceStrategy::Local,
+        false,
+    );
     for npes in [4usize, 8] {
         let (_, raw_t) = raw_jacobi(params, npes, MachinePreset::NcubeLike);
-        let prog = jacobi::build_default(params);
-        let kernel_t = prog.run_sim_preset(npes, MachinePreset::NcubeLike).time_ns;
+        let kernel_t = crate::runner::run_preset(&jacobi_label, npes, MachinePreset::NcubeLike, || {
+            jacobi::build_default(params)
+        })
+        .time_ns;
         t.row(vec![
             format!("jacobi {}^2 x{} P={npes} (ms)", params.n, params.iters),
             ms(raw_t),
@@ -471,15 +536,20 @@ pub fn fig1(scale: Scale) -> Table {
         rows: Vec::new(),
         notes: Vec::new(),
     };
-    let progs: Vec<Program> = suite.iter().map(|c| c.build_default()).collect();
-    let t1s: Vec<u64> = progs
+    let t1s: Vec<u64> = suite
         .iter()
-        .map(|p| p.run_sim_preset(1, MachinePreset::NcubeLike).time_ns)
+        .map(|c| {
+            crate::runner::run_preset(&c.label(), 1, MachinePreset::NcubeLike, || c.build_default())
+                .time_ns
+        })
         .collect();
     for &p in pes {
         let mut row = vec![p.to_string()];
-        for (prog, &t1) in progs.iter().zip(&t1s) {
-            let tp = prog.run_sim_preset(p, MachinePreset::NcubeLike).time_ns;
+        for (case, &t1) in suite.iter().zip(&t1s) {
+            let tp = crate::runner::run_preset(&case.label(), p, MachinePreset::NcubeLike, || {
+                case.build_default()
+            })
+            .time_ns;
             row.push(format!("{:.2}", t1 as f64 / tp as f64));
         }
         t.row(row);
@@ -498,9 +568,23 @@ pub fn fig2(scale: Scale) -> Table {
         &["grain", "chares", "sim ms", "speedup"],
     );
     for &grain in grains {
-        let prog = fib::build_default(fib::FibParams { n, grain });
-        let t1 = prog.run_sim_preset(1, MachinePreset::NcubeLike).time_ns;
-        let rep = prog.run_sim_preset(npes, MachinePreset::NcubeLike);
+        let params = fib::FibParams { n, grain };
+        // fib's default strategies are the suite's (Fifo + ACWN), so the
+        // suite-default grain shares runs with Tables 1/2/8, Figure 1.
+        let label = crate::runner::scenario_label(
+            "fib",
+            &format!("{params:?}"),
+            QueueingStrategy::Fifo,
+            &BalanceStrategy::acwn(),
+            false,
+        );
+        let t1 = crate::runner::run_preset(&label, 1, MachinePreset::NcubeLike, || {
+            fib::build_default(params)
+        })
+        .time_ns;
+        let rep = crate::runner::run_preset(&label, npes, MachinePreset::NcubeLike, || {
+            fib::build_default(params)
+        });
         t.row(vec![
             grain.to_string(),
             rep.counter_total("chares_created").to_string(),
@@ -588,17 +672,36 @@ pub fn fig4(scale: Scale) -> Table {
         ),
         &["P", "fifo nodes", "fifo ratio", "bitvec nodes", "bitvec ratio"],
     );
+    let params_dbg = format!("{params:?}");
     for &p in pes {
-        let mut fifo_rep = tsp::build(params, QueueingStrategy::Fifo, BalanceStrategy::Random)
-            .run_sim_preset(p, MachinePreset::NcubeLike);
-        let fifo = fifo_rep.take_result::<tsp::TspResult>().expect("result");
-        let mut prio_rep = tsp::build(
-            params,
+        let fifo_label = crate::runner::scenario_label(
+            "tsp",
+            &params_dbg,
+            QueueingStrategy::Fifo,
+            &BalanceStrategy::Random,
+            false,
+        );
+        let fifo_rep = crate::runner::run_preset(&fifo_label, p, MachinePreset::NcubeLike, || {
+            tsp::build(params, QueueingStrategy::Fifo, BalanceStrategy::Random)
+        });
+        let fifo = *fifo_rep.result_ref::<tsp::TspResult>().expect("result");
+        // Bitvec + Random is tsp's suite default: these cells share the
+        // speedup tables' runs.
+        let prio_label = crate::runner::scenario_label(
+            "tsp",
+            &params_dbg,
             QueueingStrategy::BitvecPriority,
-            BalanceStrategy::Random,
-        )
-        .run_sim_preset(p, MachinePreset::NcubeLike);
-        let prio = prio_rep.take_result::<tsp::TspResult>().expect("result");
+            &BalanceStrategy::Random,
+            false,
+        );
+        let prio_rep = crate::runner::run_preset(&prio_label, p, MachinePreset::NcubeLike, || {
+            tsp::build(
+                params,
+                QueueingStrategy::BitvecPriority,
+                BalanceStrategy::Random,
+            )
+        });
+        let prio = *prio_rep.result_ref::<tsp::TspResult>().expect("result");
         t.row(vec![
             p.to_string(),
             fifo.nodes.to_string(),
@@ -627,8 +730,9 @@ pub fn table8(scale: Scale) -> Table {
         ],
     );
     for case in standard_suite(scale) {
-        let prog = case.build_default();
-        let rep = prog.run_sim_preset(npes, MachinePreset::NcubeLike);
+        let rep = crate::runner::run_preset(&case.label(), npes, MachinePreset::NcubeLike, || {
+            case.build_default()
+        });
         let sim = rep.sim.as_ref().expect("sim detail");
         let entries = rep.counter_total("entries_executed").max(1);
         t.row(vec![
@@ -661,8 +765,10 @@ pub fn fig5(scale: Scale) -> Table {
     );
     for &p in pes {
         let per_round = |mode: BroadcastMode| {
-            let prog = sync_rounds_program(rounds, mode);
-            let rep = prog.run_sim_preset(p, MachinePreset::NcubeLike);
+            let label = format!("sync:rounds={rounds}:mode={mode:?}");
+            let rep = crate::runner::run_preset(&label, p, MachinePreset::NcubeLike, || {
+                sync_rounds_program(rounds, mode)
+            });
             rep.time_ns as f64 / rounds as f64 / 1000.0
         };
         let direct = per_round(BroadcastMode::Direct);
@@ -844,15 +950,33 @@ pub fn fig7(scale: Scale) -> Table {
         format!("Figure 7 (ablation): ACWN parameters, fib on {npes} PEs"),
         &["max_hops", "low_mark", "sim ms", "speedup", "seeds fwd"],
     );
-    let t1 = {
-        let prog = fib::build(params, QueueingStrategy::Fifo, BalanceStrategy::Local);
-        prog.run_sim_preset(1, MachinePreset::NcubeLike).time_ns
-    };
+    let params_dbg = format!("{params:?}");
+    let t1 = crate::runner::run_preset(
+        &crate::runner::scenario_label(
+            "fib",
+            &params_dbg,
+            QueueingStrategy::Fifo,
+            &BalanceStrategy::Local,
+            false,
+        ),
+        1,
+        MachinePreset::NcubeLike,
+        || fib::build(params, QueueingStrategy::Fifo, BalanceStrategy::Local),
+    )
+    .time_ns;
     for max_hops in [1u32, 2, 4, 8] {
         for low_mark in [1u32, 2, 4] {
             let strat = BalanceStrategy::Acwn { max_hops, low_mark };
-            let prog = fib::build(params, QueueingStrategy::Fifo, strat);
-            let rep = prog.run_sim_preset(npes, MachinePreset::NcubeLike);
+            let label = crate::runner::scenario_label(
+                "fib",
+                &params_dbg,
+                QueueingStrategy::Fifo,
+                &strat,
+                false,
+            );
+            let rep = crate::runner::run_preset(&label, npes, MachinePreset::NcubeLike, || {
+                fib::build(params, QueueingStrategy::Fifo, strat.clone())
+            });
             t.row(vec![
                 max_hops.to_string(),
                 low_mark.to_string(),
@@ -885,14 +1009,18 @@ pub fn fig8(scale: Scale) -> Table {
         for combining in [false, true] {
             // Rebuild the program with the combining flag via the
             // strategy-parameterized constructor plus a builder knob:
-            // the AppCase builder closes over everything else.
-            let prog = (case.build)(case.queueing, case.balance.clone());
-            let prog = if combining {
-                prog.with_combining()
-            } else {
-                prog
-            };
-            let rep = prog.run_sim_preset(npes, MachinePreset::NcubeLike);
+            // the AppCase builder closes over everything else. The
+            // combining-off arm is the suite default and shares runs
+            // with the speedup tables.
+            let label = case.label_with(case.queueing, &case.balance, combining);
+            let rep = crate::runner::run_preset(&label, npes, MachinePreset::NcubeLike, || {
+                let prog = (case.build)(case.queueing, case.balance.clone());
+                if combining {
+                    prog.with_combining()
+                } else {
+                    prog
+                }
+            });
             let sim = rep.sim.as_ref().expect("sim detail");
             t.row(vec![
                 case.name.into(),
@@ -946,9 +1074,9 @@ pub fn table_r(scale: Scale) -> Table {
         .into_iter()
         .filter(|c| matches!(c.name, "fib" | "nqueens" | "jacobi" | "sort"))
     {
-        let clean = case
-            .build_default()
-            .run_sim_preset(npes, MachinePreset::NcubeLike);
+        let clean = crate::runner::run_preset(&case.label(), npes, MachinePreset::NcubeLike, || {
+            case.build_default()
+        });
         let clean_pkts = clean.sim.as_ref().expect("sim detail").packets;
         t.row(vec![
             case.name.into(),
@@ -997,28 +1125,10 @@ pub fn table_r(scale: Scale) -> Table {
     t
 }
 
-/// Every experiment, in order.
+/// Every experiment, in order (serial; see [`crate::driver::run_all`]
+/// for the thread-parallel form — the output is identical).
 pub fn all(scale: Scale) -> Vec<Table> {
-    vec![
-        table1(scale),
-        table2(scale),
-        table3(scale),
-        table4(scale),
-        table5(scale),
-        table6(scale),
-        table7(scale),
-        table8(scale),
-        fig1(scale),
-        fig2(scale),
-        fig3(scale),
-        fig4(scale),
-        fig5(scale),
-        fig6(scale),
-        fig7(scale),
-        fig8(scale),
-        table_r(scale),
-        crate::trace_view::table_p(scale),
-    ]
+    crate::driver::run_all(scale, 1)
 }
 
 #[cfg(test)]

@@ -9,10 +9,13 @@
 //! All simulator experiments are deterministic: the same binary produces
 //! the same numbers on every run.
 
+pub mod driver;
 pub mod experiments;
+pub mod runner;
 pub mod table;
 pub mod trace_view;
 
+pub use driver::{run_all, table_jobs, BenchRecord};
 pub use experiments::*;
 pub use table::Table;
 pub use trace_view::{comm_matrix_table, export_trace, table_p};

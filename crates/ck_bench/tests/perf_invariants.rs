@@ -1,0 +1,71 @@
+//! A/B determinism invariants for the host-performance machinery:
+//! message pooling, the run memo, and thread-parallel table generation
+//! change wall-clock only — never a byte of table output.
+//!
+//! Tables 1, 2 and 4 cover the three report shapes the optimizations
+//! touch: counters + sim detail (Table 1), the speedup sweep with its
+//! repeated P=1 baseline (Table 2), and the strategy matrix with
+//! imbalance figures (Table 4).
+
+use ck_bench::{runner, Scale, Table};
+
+fn render(tables: &[Table]) -> String {
+    tables
+        .iter()
+        .map(|t| format!("{t}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn tables_124(scale: Scale) -> Vec<Table> {
+    vec![
+        ck_bench::table1(scale),
+        ck_bench::table2(scale),
+        ck_bench::table4(scale),
+    ]
+}
+
+/// The quick-fit message pool recycles envelopes and wire buffers; with
+/// it forced off every allocation is fresh. Both modes must produce the
+/// same bytes. Run memoization is disabled so each arm really simulates.
+#[test]
+fn pooled_vs_unpooled_byte_identical() {
+    runner::set_caching(false);
+    chare_kernel::pool::set_pooling(false);
+    let unpooled = render(&tables_124(Scale::Quick));
+    chare_kernel::pool::set_pooling(true);
+    let pooled = render(&tables_124(Scale::Quick));
+    runner::set_caching(true);
+    assert_eq!(unpooled, pooled);
+}
+
+/// Serving repeated scenarios from the deterministic run memo must give
+/// the same bytes as simulating every run fresh.
+#[test]
+fn run_memo_vs_fresh_byte_identical() {
+    runner::set_caching(true);
+    let memoized = render(&tables_124(Scale::Quick));
+    runner::set_caching(false);
+    let fresh = render(&tables_124(Scale::Quick));
+    runner::set_caching(true);
+    assert_eq!(memoized, fresh);
+}
+
+/// Generating tables on worker threads (each with its own thread-local
+/// pool and memo) must match the serial rendering byte for byte.
+#[test]
+fn parallel_vs_serial_byte_identical() {
+    let serial = render(&tables_124(Scale::Quick));
+    let parallel = std::thread::scope(|s| {
+        let t1 = s.spawn(|| format!("{}", ck_bench::table1(Scale::Quick)));
+        let t2 = s.spawn(|| format!("{}", ck_bench::table2(Scale::Quick)));
+        let t4 = s.spawn(|| format!("{}", ck_bench::table4(Scale::Quick)));
+        [
+            t1.join().expect("table1 worker"),
+            t2.join().expect("table2 worker"),
+            t4.join().expect("table4 worker"),
+        ]
+        .join("\n")
+    });
+    assert_eq!(serial, parallel);
+}

@@ -59,7 +59,7 @@ pub use pe::Pe;
 pub use program::{
     FnFactory, NetCtx, NodeFactory, NodeProgram, Packet, Payload, Replayable, StepKind,
 };
-pub use sim::{AbortReason, SimConfig, SimMachine, SimReport};
+pub use sim::{take_events_tally, AbortReason, SimConfig, SimMachine, SimReport};
 pub use stats::{imbalance, NodeStats, StatSummary};
 #[cfg(feature = "threads")]
 pub use thread::{ThreadConfig, ThreadMachine, ThreadReport};

@@ -28,6 +28,7 @@
 //! events remain and no node has work (global quiescence — reported via
 //! [`SimReport::quiesced`]).
 
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -109,6 +110,20 @@ impl SimConfig {
         self.max_events = limit;
         self
     }
+}
+
+thread_local! {
+    /// Events processed by finished runs on this thread since the last
+    /// [`take_events_tally`] — host-perf accounting, outside simulated
+    /// semantics.
+    static EVENTS_TALLY: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Drain this thread's cumulative simulator event count. Benchmarks
+/// call it around a batch of runs to report host-side events/sec; runs
+/// themselves are unaffected.
+pub fn take_events_tally() -> u64 {
+    EVENTS_TALLY.with(|c| c.replace(0))
 }
 
 /// Why a run ended early without stopping or quiescing.
@@ -226,13 +241,18 @@ struct SimCtx {
 }
 
 impl SimCtx {
-    fn at(me: Pe, npes: usize, now: SimTime) -> Self {
+    /// `outbox` is machine-owned scratch: handed in empty (capacity
+    /// intact from the previous handler) and handed back after the
+    /// sends are routed, so the per-event send buffer is allocated
+    /// once per run instead of once per event.
+    fn at(me: Pe, npes: usize, now: SimTime, outbox: Vec<(Pe, u32, Payload)>) -> Self {
+        debug_assert!(outbox.is_empty());
         SimCtx {
             me,
             npes,
             now,
             charged: Cost::ZERO,
-            outbox: Vec::new(),
+            outbox,
             stop: false,
             deposit: None,
             alarm: None,
@@ -276,7 +296,16 @@ pub struct SimMachine<N: NodeProgram> {
     cfg: SimConfig,
     nodes: Vec<N>,
     heap: BinaryHeap<Reverse<Event>>,
+    /// Front slot held out of the heap. Execute events vastly outnumber
+    /// everything else and are usually the next event anyway, so the
+    /// earliest pending one lives here and the common
+    /// schedule-exec-then-pop cycle touches no heap at all.
+    /// [`Self::next_event`] compares it against the heap top, keeping
+    /// the pop order exactly the total `(time, seq)` order.
+    fast: Option<Event>,
     seq: u64,
+    /// Reusable send buffer lent to each [`SimCtx`].
+    scratch_outbox: Vec<(Pe, u32, Payload)>,
     /// Earliest instant each PE is free to start the next handler.
     busy_until: Vec<SimTime>,
     /// Whether an Execute event is pending for each PE.
@@ -291,7 +320,10 @@ pub struct SimMachine<N: NodeProgram> {
     events: u64,
     result: Option<Payload>,
     stopped: bool,
-    samples: Vec<(SimTime, Vec<usize>)>,
+    /// Backlog samples, stored flat (`npes` entries per sample) and
+    /// reassembled into per-sample vectors only once, at report time.
+    sample_times: Vec<SimTime>,
+    sample_flat: Vec<usize>,
     timeline: Vec<TraceSpan>,
     fault: Option<FaultState>,
     aborted: Option<AbortReason>,
@@ -308,8 +340,13 @@ impl<N: NodeProgram> SimMachine<N> {
             nodes,
             fault,
             aborted: None,
-            heap: BinaryHeap::new(),
+            // Steady state holds roughly one in-flight message plus one
+            // pending Execute per PE; pre-size so early growth never
+            // reallocates mid-run.
+            heap: BinaryHeap::with_capacity(4 * npes + 64),
+            fast: None,
             seq: 0,
+            scratch_outbox: Vec::new(),
             busy_until: vec![SimTime::ZERO; npes],
             exec_scheduled: vec![false; npes],
             nic_free: vec![SimTime::ZERO; npes],
@@ -320,7 +357,8 @@ impl<N: NodeProgram> SimMachine<N> {
             events: 0,
             result: None,
             stopped: false,
-            samples: Vec::new(),
+            sample_times: Vec::new(),
+            sample_flat: Vec::new(),
             timeline: Vec::new(),
         }
     }
@@ -340,11 +378,48 @@ impl<N: NodeProgram> SimMachine<N> {
         }));
     }
 
+    /// Schedule an Execute event through the front slot: the earliest of
+    /// the pending Executes stays in `fast`, the other goes to the heap.
+    fn push_exec(&mut self, time: SimTime, pe: Pe) {
+        let seq = self.seq;
+        self.seq += 1;
+        let ev = Event {
+            time: time.as_nanos(),
+            seq,
+            kind: EventKind::Execute { pe },
+        };
+        match &self.fast {
+            None => self.fast = Some(ev),
+            Some(f) if (ev.time, ev.seq) < (f.time, f.seq) => {
+                let demoted = self.fast.replace(ev).expect("checked above");
+                self.heap.push(Reverse(demoted));
+            }
+            Some(_) => self.heap.push(Reverse(ev)),
+        }
+    }
+
+    /// Pop the globally next event — the smaller `(time, seq)` of the
+    /// front slot and the heap top. Seqs are unique, so the order is
+    /// total and identical to a single heap's.
+    fn next_event(&mut self) -> Option<Event> {
+        match (&self.fast, self.heap.peek()) {
+            (Some(f), Some(Reverse(h))) => {
+                if (f.time, f.seq) < (h.time, h.seq) {
+                    self.fast.take()
+                } else {
+                    self.heap.pop().map(|Reverse(e)| e)
+                }
+            }
+            (Some(_), None) => self.fast.take(),
+            (None, _) => self.heap.pop().map(|Reverse(e)| e),
+        }
+    }
+
     fn schedule_exec(&mut self, pe: Pe, not_before: SimTime) {
         if !self.exec_scheduled[pe.index()] && self.nodes[pe.index()].has_work() {
             let at = not_before.max(self.busy_until[pe.index()]);
             self.exec_scheduled[pe.index()] = true;
-            self.push(at, EventKind::Execute { pe });
+            self.push_exec(at, pe);
         }
     }
 
@@ -423,7 +498,8 @@ impl<N: NodeProgram> SimMachine<N> {
     pub fn run(mut self) -> SimReport {
         // Boot every node at t = 0. Boot-time sends depart at t = 0.
         for pe in Pe::all(self.cfg.npes) {
-            let mut ctx = SimCtx::at(pe, self.cfg.npes, SimTime::ZERO);
+            let outbox = std::mem::take(&mut self.scratch_outbox);
+            let mut ctx = SimCtx::at(pe, self.cfg.npes, SimTime::ZERO, outbox);
             self.nodes[pe.index()].boot(&mut ctx);
             let end = SimTime::ZERO + ctx.charged;
             self.busy_until[pe.index()] = end;
@@ -434,9 +510,10 @@ impl<N: NodeProgram> SimMachine<N> {
             if let Some(r) = ctx.deposit {
                 self.result = Some(r);
             }
-            for (to, bytes, payload) in ctx.outbox {
+            for (to, bytes, payload) in ctx.outbox.drain(..) {
                 self.route(pe, to, bytes, payload, end);
             }
+            self.scratch_outbox = ctx.outbox;
             if let Some(after) = ctx.alarm {
                 self.push(end + after, EventKind::Alarm { pe });
             }
@@ -451,7 +528,7 @@ impl<N: NodeProgram> SimMachine<N> {
 
         let mut now = SimTime::ZERO;
         while !self.stopped {
-            let Some(Reverse(ev)) = self.heap.pop() else {
+            let Some(ev) = self.next_event() else {
                 break;
             };
             self.events += 1;
@@ -493,7 +570,7 @@ impl<N: NodeProgram> SimMachine<N> {
                             // Frozen: hold the dispatch until the PE
                             // resumes (exec_scheduled stays set).
                             fs.stats.stall_deferrals += 1;
-                            self.push(until, EventKind::Execute { pe });
+                            self.push_exec(until, pe);
                             continue;
                         }
                     }
@@ -502,7 +579,8 @@ impl<N: NodeProgram> SimMachine<N> {
                     if !node.has_work() {
                         continue;
                     }
-                    let mut ctx = SimCtx::at(pe, self.cfg.npes, now);
+                    let outbox = std::mem::take(&mut self.scratch_outbox);
+                    let mut ctx = SimCtx::at(pe, self.cfg.npes, now, outbox);
                     let ran = node.step(&mut ctx);
                     let cost = match ran {
                         Some(StepKind::User) => self.cfg.cost.dispatch + ctx.charged,
@@ -529,9 +607,10 @@ impl<N: NodeProgram> SimMachine<N> {
                         self.stopped = true;
                         now = end;
                     }
-                    for (to, bytes, payload) in ctx.outbox {
+                    for (to, bytes, payload) in ctx.outbox.drain(..) {
                         self.route(pe, to, bytes, payload, end);
                     }
+                    self.scratch_outbox = ctx.outbox;
                     if let Some(after) = ctx.alarm {
                         self.push(end + after, EventKind::Alarm { pe });
                     }
@@ -555,7 +634,8 @@ impl<N: NodeProgram> SimMachine<N> {
                     // Serialize with handler execution: the alarm handler
                     // starts once the PE is free.
                     let start = now.max(self.busy_until[pe.index()]);
-                    let mut ctx = SimCtx::at(pe, self.cfg.npes, start);
+                    let outbox = std::mem::take(&mut self.scratch_outbox);
+                    let mut ctx = SimCtx::at(pe, self.cfg.npes, start, outbox);
                     self.nodes[pe.index()].alarm(&mut ctx);
                     let end = start + ctx.charged;
                     self.busy_until[pe.index()] = end;
@@ -567,9 +647,10 @@ impl<N: NodeProgram> SimMachine<N> {
                         self.stopped = true;
                         now = end;
                     }
-                    for (to, bytes, payload) in ctx.outbox {
+                    for (to, bytes, payload) in ctx.outbox.drain(..) {
                         self.route(pe, to, bytes, payload, end);
                     }
+                    self.scratch_outbox = ctx.outbox;
                     if let Some(after) = ctx.alarm {
                         self.push(end + after, EventKind::Alarm { pe });
                     }
@@ -580,11 +661,16 @@ impl<N: NodeProgram> SimMachine<N> {
                     }
                 }
                 EventKind::Sample => {
-                    let backlog: Vec<usize> = self.nodes.iter().map(|n| n.backlog()).collect();
-                    self.samples.push((now, backlog));
+                    if self.sample_times.is_empty() {
+                        self.sample_times.reserve(64);
+                        self.sample_flat.reserve(64 * self.cfg.npes);
+                    }
+                    self.sample_times.push(now);
+                    self.sample_flat
+                        .extend(self.nodes.iter().map(|n| n.backlog()));
                     // Only keep sampling while there are other events —
                     // otherwise sampling alone would keep the sim alive.
-                    if !self.heap.is_empty() {
+                    if !self.heap.is_empty() || self.fast.is_some() {
                         let iv = self.cfg.sample_interval.expect("sampling enabled");
                         self.push(now + iv, EventKind::Sample);
                     }
@@ -597,6 +683,14 @@ impl<N: NodeProgram> SimMachine<N> {
             .iter()
             .copied()
             .fold(now, SimTime::max);
+        EVENTS_TALLY.with(|c| c.set(c.get() + self.events));
+        let npes = self.cfg.npes;
+        let samples = self
+            .sample_times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, self.sample_flat[i * npes..(i + 1) * npes].to_vec()))
+            .collect();
         SimReport {
             end_time,
             result: self.result,
@@ -606,7 +700,7 @@ impl<N: NodeProgram> SimMachine<N> {
             bytes: self.bytes,
             events: self.events,
             quiesced: !self.stopped && self.aborted.is_none(),
-            samples: self.samples,
+            samples,
             timeline: self.timeline,
             aborted: self.aborted,
             faults: self.fault.map(|fs| fs.stats),
