@@ -109,6 +109,7 @@ impl<'a> Ctx<'a> {
     /// [`Ctx::create`] with an explicit scheduling priority.
     pub fn create_prio<C: ChareInit>(&mut self, kind: Kind<C>, seed: C::Seed, prio: Priority) {
         let bytes = seed.bytes();
+        self.node.counters.seeds_spawned += 1;
         self.node
             .place_seed(self.net, kind.id, Box::new(seed), bytes, prio, 0);
     }
@@ -127,6 +128,7 @@ impl<'a> Ctx<'a> {
         prio: Priority,
     ) {
         let bytes = seed.bytes();
+        self.node.counters.seeds_spawned += 1;
         if pe == self.node.pe {
             // Settle locally without a network round trip, like the
             // kernel's local-creation fast path.

@@ -82,7 +82,7 @@ pub use msg::Message;
 pub use priority::{BitPrio, Priority};
 pub use program::{CkReport, Program, ProgramBuilder};
 pub use queueing::QueueingStrategy;
-pub use reliable::ReliableConfig;
+pub use reliable::{ReliableConfig, ReliableConfigError};
 pub use shared::{
     Acc, AccResult, Accum, MaxF64, MinBoundU64, MinU64, Mono, MonoVar, QuiescenceMsg, ReadOnly,
     SumF64, SumU64, TableAck, TableGot, TableRef, WoReady,
@@ -103,7 +103,7 @@ pub mod prelude {
     pub use crate::priority::{BitPrio, Priority};
     pub use crate::program::{CkReport, Program, ProgramBuilder};
     pub use crate::queueing::QueueingStrategy;
-    pub use crate::reliable::ReliableConfig;
+    pub use crate::reliable::{ReliableConfig, ReliableConfigError};
     pub use crate::shared::{
         Acc, AccResult, Accum, MaxF64, MinBoundU64, MinU64, Mono, MonoVar, QuiescenceMsg,
         ReadOnly, SumF64, SumU64, TableAck, TableGot, TableRef, WoReady,

@@ -613,6 +613,7 @@ impl CkNode {
                 );
             }
             QdAction::Declare(notifies) => {
+                self.counters.qd_declares += 1;
                 for n in notifies {
                     let msg = QuiescenceMsg;
                     let bytes = msg.bytes();
@@ -1059,6 +1060,7 @@ impl NodeProgram for CkNode {
         if self.pe == Pe::ZERO {
             if let Some(main) = &reg.main {
                 let (seed, bytes) = (main.make_seed)();
+                self.counters.seeds_spawned += 1;
                 self.counters.seeds_kept += 1;
                 let kind = main.kind;
                 self.trace(&*net, || EventKind::SeedKept { kind, hops: 0 });
@@ -1142,7 +1144,19 @@ impl NodeProgram for CkNode {
     }
 
     fn stats(&self) -> NodeStats {
-        self.counters.to_node_stats()
+        // End-state snapshots ride along with the running counters:
+        // what was still queued or in flight when the machine stopped.
+        // The desim oracles read these to decide whether the
+        // exactly-once seed ledger must balance (all zero ⇒ every
+        // spawned seed had to have been constructed) and whether
+        // quiescence fired over undelivered traffic.
+        let mut c = self.counters;
+        c.backlog_end = self.user_load() as u64;
+        if let Some(rel) = &self.rel {
+            c.rel_inflight_end = rel.counted_inflight() as u64;
+            c.rel_reorder_end = rel.parked() as u64;
+        }
+        c.to_node_stats()
     }
 }
 

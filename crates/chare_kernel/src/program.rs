@@ -165,7 +165,16 @@ impl ProgramBuilder {
     /// unresponsive PEs are re-dispatched elsewhere. Needed when the
     /// simulated machine injects faults ([`SimConfig::with_faults`]);
     /// pure overhead (but harmless) on a lossless machine.
+    ///
+    /// # Panics
+    ///
+    /// On a degenerate config ([`ReliableConfig::validate`]): a zero
+    /// send window or zero retransmit timeout cannot deliver anything,
+    /// and failing here beats diagnosing the resulting boot-time hang.
     pub fn reliable(&mut self, cfg: ReliableConfig) -> &mut Self {
+        if let Err(e) = cfg.validate() {
+            panic!("{e}");
+        }
         self.reliable = Some(cfg);
         self
     }
@@ -230,7 +239,14 @@ impl Program {
 
     /// A copy of this program with reliable delivery enabled — sugar
     /// for resilience sweeps over an already-built program.
+    ///
+    /// # Panics
+    ///
+    /// On a degenerate config, like [`ProgramBuilder::reliable`].
     pub fn with_reliable(&self, cfg: ReliableConfig) -> Program {
+        if let Err(e) = cfg.validate() {
+            panic!("{e}");
+        }
         let mut p = self.clone();
         p.reliable = Some(cfg);
         p

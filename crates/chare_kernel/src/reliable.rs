@@ -88,6 +88,54 @@ impl Default for ReliableConfig {
     }
 }
 
+/// Why a [`ReliableConfig`] cannot work, from
+/// [`ReliableConfig::validate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReliableConfigError {
+    /// `window == 0`: no frame may ever be in flight, so the first
+    /// submitted message queues forever and the run hangs at boot.
+    ZeroWindow,
+    /// `timeout == 0`: the retransmit alarm would be due the instant a
+    /// frame is sent; every frame retransmits on every alarm tick and
+    /// seeds exhaust their retry budget before the first copy can even
+    /// arrive.
+    ZeroTimeout,
+}
+
+impl std::fmt::Display for ReliableConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReliableConfigError::ZeroWindow => {
+                write!(f, "reliable config: window must be >= 1 (a zero send window can never transmit anything)")
+            }
+            ReliableConfigError::ZeroTimeout => {
+                write!(f, "reliable config: timeout must be nonzero (a zero retransmit timeout expires frames as they are sent)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReliableConfigError {}
+
+impl ReliableConfig {
+    /// Reject configurations that cannot deliver anything: a zero send
+    /// window blocks every message forever, a zero timeout expires
+    /// frames the moment they are registered. Both would surface as a
+    /// hang or a spurious redirect storm deep inside a run; failing
+    /// fast at program construction turns that into a diagnosable
+    /// error. The desim campaign's scenario generator relies on this to
+    /// keep randomized configs inside the deliverable envelope.
+    pub fn validate(&self) -> Result<(), ReliableConfigError> {
+        if self.window == 0 {
+            return Err(ReliableConfigError::ZeroWindow);
+        }
+        if self.timeout.0 == 0 {
+            return Err(ReliableConfigError::ZeroTimeout);
+        }
+        Ok(())
+    }
+}
+
 /// Largest backoff shift: retries beyond this reuse `timeout << 5`.
 /// Because only the head-of-line frame per destination ever goes back
 /// on the wire, the worst-case retransmit load is one injection per
@@ -531,6 +579,21 @@ impl RelState {
     pub(crate) fn in_flight(&self) -> usize {
         self.outstanding.len()
     }
+
+    /// Unacknowledged frames still carrying *counted* user traffic —
+    /// the end-of-run snapshot behind the `rel_inflight_end` counter.
+    /// Window-queued user messages count too: they are just as
+    /// undelivered as a frame on the wire.
+    pub(crate) fn counted_inflight(&self) -> usize {
+        self.outstanding.values().filter(|p| p.counted).count()
+            + self.wait_q.iter().flatten().filter(|w| w.counted).count()
+    }
+
+    /// Arrivals parked behind a sequence gap across all reorder
+    /// buffers — the end-of-run snapshot behind `rel_reorder_end`.
+    pub(crate) fn parked(&self) -> usize {
+        self.reorder.iter().map(|b| b.len()).sum()
+    }
 }
 
 #[cfg(test)]
@@ -551,6 +614,62 @@ mod tests {
             prio: crate::priority::Priority::None,
             hops: 0,
         }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        assert_eq!(ReliableConfig::default().validate(), Ok(()));
+        let zero_window = ReliableConfig {
+            window: 0,
+            ..ReliableConfig::default()
+        };
+        assert_eq!(
+            zero_window.validate(),
+            Err(ReliableConfigError::ZeroWindow)
+        );
+        let zero_timeout = ReliableConfig {
+            timeout: Cost(0),
+            ..ReliableConfig::default()
+        };
+        assert_eq!(
+            zero_timeout.validate(),
+            Err(ReliableConfigError::ZeroTimeout)
+        );
+        // The minimal working config is fine: retries may be zero
+        // (seeds then redirect on the first timeout, which is a
+        // legitimate — aggressive — policy).
+        let minimal = ReliableConfig {
+            timeout: Cost(1),
+            seed_retry_limit: 0,
+            window: 1,
+        };
+        assert_eq!(minimal.validate(), Ok(()));
+        // Errors render actionable text.
+        assert!(ReliableConfigError::ZeroWindow.to_string().contains("window"));
+        assert!(ReliableConfigError::ZeroTimeout.to_string().contains("timeout"));
+    }
+
+    #[test]
+    fn end_state_snapshots_count_counted_traffic_only() {
+        let cfg = ReliableConfig {
+            window: 1,
+            ..ReliableConfig::default()
+        };
+        let mut r = RelState::new(3, cfg);
+        assert_eq!((r.counted_inflight(), r.parked()), (0, 0));
+        // A counted user message in flight and one window-queued.
+        let s1 = r.submit(Pe(1), seed_msg(), 0, true).expect("window open").seq;
+        assert!(r.submit(Pe(1), seed_msg(), 0, true).is_none(), "queued");
+        assert_eq!(r.counted_inflight(), 2);
+        // An uncounted control frame contributes nothing.
+        r.register(Pe(2), SysMsg::WorkNack, 0, false);
+        assert_eq!(r.counted_inflight(), 2);
+        r.on_ack(Pe(1), &[s1]);
+        assert_eq!(r.counted_inflight(), 1, "ack retired the wire copy");
+        // A parked out-of-order arrival shows up in `parked`.
+        let held = slot_of(msg());
+        r.accept(Pe(2), 3, &held);
+        assert_eq!(r.parked(), 1);
     }
 
     #[test]

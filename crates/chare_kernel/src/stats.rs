@@ -79,6 +79,32 @@ kernel_counters! {
     /// Seeds re-dispatched to a different PE after exhausting their
     /// retry budget against an unresponsive destination.
     seeds_redirected,
+    /// Chare creations *requested* on this PE (`Ctx::create`/`create_on`
+    /// plus the main chare at boot) — the origination side of the
+    /// exactly-once seed ledger. Forwarding, work-stealing grants and
+    /// reliable-layer redirects move a seed without re-counting it, so
+    /// across a whole run `Σ seeds_spawned` must equal `Σ chares_created`
+    /// once every queue drains: a shortfall is a lost seed, an excess a
+    /// duplicated construction. The desim campaign's seed-accounting
+    /// oracle checks exactly that.
+    seeds_spawned,
+    /// Quiescence declarations issued by this PE's QD coordinator
+    /// (only ever nonzero on PE 0).
+    qd_declares,
+    /// Runnable user backlog (queue + seed pool) left when the run
+    /// ended — snapshot taken at stats collection, not a running count.
+    /// Nonzero after a clean exit means work was legitimately abandoned
+    /// (e.g. pruned search seeds); the seed-accounting oracle only
+    /// demands ledger equality when this is zero everywhere.
+    backlog_end,
+    /// Reliable frames still carrying *counted* user traffic,
+    /// unacknowledged at run end (snapshot, like `backlog_end`).
+    rel_inflight_end,
+    /// Arrivals still parked behind a sequence gap in a reorder buffer
+    /// at run end (snapshot). Under quiescence-based termination this
+    /// must be zero: QD declaring over a parked user message is exactly
+    /// the unsoundness the desim quiescence oracle hunts.
+    rel_reorder_end,
 }
 
 #[cfg(test)]

@@ -1,0 +1,216 @@
+//! Storm minimization: shrink a failing fault plan while the failure
+//! persists.
+//!
+//! A campaign failure arrives as a storm with up to six active fault
+//! classes, several scheduled windows and three probability knobs —
+//! far more than the bug needs. The minimizer greedily reduces it in
+//! four phases, re-running the scenario after every candidate
+//! reduction and keeping only reductions under which *some* oracle
+//! still fails:
+//!
+//! 1. **class elimination** — drop whole fault classes
+//!    ([`FaultPlan::without`]) to a fixed point;
+//! 2. **item elimination** — drop individual scheduled events
+//!    (`out=`/`stall=`/`crash=` spec tokens) to a fixed point;
+//! 3. **rate halving** — halve `drop`/`dup`/`delay` probabilities
+//!    while the failure persists;
+//! 4. **window narrowing** — halve the length of remaining
+//!    outage/stall windows while the failure persists.
+//!
+//! Phases 2–4 operate on the plan's canonical *spec string* (drop a
+//! token, rewrite a value, re-parse): the spec grammar is the plan's
+//! single source of truth, so the minimizer needs no private access to
+//! plan internals — and every intermediate candidate is by construction
+//! expressible as a replayable one-liner.
+//!
+//! Each probe is individually deterministic (a plan replays from its
+//! spec), but probes are *not* pointwise comparable to the original
+//! run: disabled classes still consume their per-packet draw, while
+//! dropped packets early-out and firing delays draw an extra word, so
+//! reducing a plan shifts the shared decision stream. Greedy
+//! keep-if-still-failing search is exactly the discipline that remains
+//! sound under that model.
+
+use multicomputer::FaultPlan;
+
+use crate::campaign;
+use crate::scenario::Scenario;
+
+/// Result of a minimization.
+#[derive(Debug, Clone)]
+pub struct Minimized {
+    /// The reduced storm (equal to the input when `still_fails` is
+    /// false).
+    pub storm: FaultPlan,
+    /// Simulator probes spent.
+    pub probes: u32,
+    /// Whether the input storm failed at all (and therefore the output
+    /// still does).
+    pub still_fails: bool,
+}
+
+fn rewrite(tokens: &[String]) -> FaultPlan {
+    FaultPlan::parse(&tokens.join(" ")).expect("minimizer candidates stay within the spec grammar")
+}
+
+/// Halve the probability of a `drop=`/`dup=`/`delay=` token; `None`
+/// when the token is absent or already negligible.
+fn halve_rate(plan: &FaultPlan, key: &str) -> Option<FaultPlan> {
+    let mut tokens: Vec<String> = plan.spec().split_whitespace().map(String::from).collect();
+    let prefix = format!("{key}=");
+    let tok = tokens.iter_mut().find(|t| t.starts_with(&prefix))?;
+    let val = &tok[prefix.len()..];
+    let (p_str, suffix) = match val.split_once('/') {
+        Some((p, rest)) => (p, format!("/{rest}")),
+        None => (val, String::new()),
+    };
+    let p: f64 = p_str.parse().ok()?;
+    if p < 0.002 {
+        return None;
+    }
+    *tok = format!("{prefix}{}{suffix}", p / 2.0);
+    Some(rewrite(&tokens))
+}
+
+/// Halve the window length of the `i`-th token if it is an
+/// `out=`/`stall=` window; `None` when it is not, or the window is
+/// already minimal.
+fn narrow_window(tokens: &[String], i: usize) -> Option<FaultPlan> {
+    let tok = &tokens[i];
+    if !(tok.starts_with("out=") || tok.starts_with("stall=")) {
+        return None;
+    }
+    let (head, span) = tok.rsplit_once('@')?;
+    let (start, end) = span.split_once('-')?;
+    let (start, end): (u64, u64) = (start.parse().ok()?, end.parse().ok()?);
+    let len = end - start;
+    if len < 2 {
+        return None;
+    }
+    let mut reduced = tokens.to_vec();
+    reduced[i] = format!("{head}@{start}-{}", start + len / 2);
+    Some(rewrite(&reduced))
+}
+
+/// Minimize `storm` against `sc`: greedily shrink while at least one
+/// oracle still fails. Deterministic — same inputs, same output, same
+/// probe count.
+pub fn minimize(sc: &Scenario, storm: &FaultPlan, max_events: u64) -> Minimized {
+    let mut probes = 0u32;
+    let mut fails = |plan: &FaultPlan| {
+        probes += 1;
+        !campaign::execute(0, sc.clone(), plan.clone(), max_events)
+            .violations
+            .is_empty()
+    };
+    let mut plan = storm.clone();
+    if !fails(&plan) {
+        return Minimized {
+            storm: plan,
+            probes,
+            still_fails: false,
+        };
+    }
+    // Phase 1: whole-class elimination to a fixed point.
+    loop {
+        let mut changed = false;
+        for class in plan.classes() {
+            let candidate = plan.without(class);
+            if fails(&candidate) {
+                plan = candidate;
+                changed = true;
+                break;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Phase 2: drop individual scheduled events.
+    loop {
+        let mut changed = false;
+        let tokens: Vec<String> = plan.spec().split_whitespace().map(String::from).collect();
+        for i in 0..tokens.len() {
+            let t = &tokens[i];
+            if !(t.starts_with("out=") || t.starts_with("stall=") || t.starts_with("crash=")) {
+                continue;
+            }
+            let mut reduced = tokens.clone();
+            reduced.remove(i);
+            let candidate = rewrite(&reduced);
+            if fails(&candidate) {
+                plan = candidate;
+                changed = true;
+                break;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Phase 3: halve surviving probabilistic rates.
+    for key in ["drop", "dup", "delay"] {
+        for _ in 0..6 {
+            let Some(candidate) = halve_rate(&plan, key) else {
+                break;
+            };
+            if fails(&candidate) {
+                plan = candidate;
+            } else {
+                break;
+            }
+        }
+    }
+    // Phase 4: narrow surviving scheduled windows.
+    loop {
+        let mut changed = false;
+        let tokens: Vec<String> = plan.spec().split_whitespace().map(String::from).collect();
+        for i in 0..tokens.len() {
+            if let Some(candidate) = narrow_window(&tokens, i) {
+                if fails(&candidate) {
+                    plan = candidate;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Minimized {
+        storm: plan,
+        probes,
+        still_fails: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multicomputer::Cost;
+
+    #[test]
+    fn halve_rate_rewrites_only_its_key() {
+        let plan = FaultPlan::new(5).drop(0.1).delay(0.08, Cost::micros(100));
+        let halved = halve_rate(&plan, "drop").expect("drop present");
+        assert!(halved.spec().contains("drop=0.05"), "{}", halved.spec());
+        assert!(halved.spec().contains("delay=0.08/"), "{}", halved.spec());
+        assert!(halve_rate(&plan, "dup").is_none(), "dup absent");
+    }
+
+    #[test]
+    fn narrow_window_halves_the_span() {
+        let tokens: Vec<String> = "seed=0x5 out=0>1@100-900"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let narrowed = narrow_window(&tokens, 1).expect("window token");
+        assert!(
+            narrowed.spec().contains("out=0>1@100-500"),
+            "{}",
+            narrowed.spec()
+        );
+        assert!(narrow_window(&tokens, 0).is_none(), "seed is not a window");
+    }
+}

@@ -1,0 +1,138 @@
+//! Randomized fault storms within the survivable envelope.
+//!
+//! A storm is a [`FaultPlan`] drawn from the campaign stream. The
+//! generator's job is to be vicious *inside* the envelope the kernel
+//! promises to survive — drop/duplicate/delay rates the resilience
+//! acceptance tests cover, bounded link outages and PE stalls, and PE
+//! crashes only for scenarios in the crash-recovery envelope
+//! ([`Scenario::crash_survivable`]) — so that every oracle violation a
+//! campaign finds is a real kernel bug, not a storm that no protocol
+//! could survive.
+//!
+//! Envelope bounds (and why):
+//! * drop ≤ 15%, duplicate ≤ 5%, delay ≤ 10% up to 300 µs — the ranges
+//!   the `resilience.rs` property tests prove recoverable;
+//! * outages and stalls are always *bounded* windows (≤ ~2 ms): the
+//!   head-of-line retransmit with capped backoff outlasts any bounded
+//!   blackout, so delivery resumes when the window closes;
+//! * crashes are permanent, so they only appear in crash-survivable
+//!   scenarios, at boot time (`SimTime::ZERO`), never on PE 0 (the
+//!   main chare and QD coordinator live there).
+
+use multicomputer::{Cost, FaultPlan, FaultRng, Pe, SimTime};
+
+use crate::scenario::Scenario;
+
+/// Draw a storm for `sc` from the campaign stream. The storm's own
+/// fault seed is drawn first, so the plan replays identically from its
+/// spec string alone.
+pub fn generate(rng: &mut FaultRng, sc: &Scenario) -> FaultPlan {
+    let mut plan = FaultPlan::new(rng.next_u64());
+    let npes = sc.npes as u64;
+    if sc.crash_survivable() {
+        // One crashed PE at boot (never PE 0), plus milder probabilistic
+        // faults: the crash already stresses redirect, and recovery time
+        // grows quickly when loss also slows the survivors.
+        plan = plan.crash(Pe(1 + rng.below(npes - 1) as u32), SimTime::ZERO);
+        if rng.chance(0.5) {
+            plan = plan.drop(rng.below(80) as f64 / 1000.0);
+        }
+        if rng.chance(0.3) {
+            plan = plan.duplicate(rng.below(30) as f64 / 1000.0);
+        }
+        if rng.chance(0.5) {
+            plan = plan.delay(rng.below(80) as f64 / 1000.0, Cost::micros(50 + rng.below(150)));
+        }
+        return plan;
+    }
+    if rng.chance(0.8) {
+        plan = plan.drop(rng.below(150) as f64 / 1000.0);
+    }
+    if rng.chance(0.5) {
+        plan = plan.duplicate(rng.below(50) as f64 / 1000.0);
+    }
+    if rng.chance(0.7) {
+        plan = plan.delay(
+            rng.below(100) as f64 / 1000.0,
+            Cost::micros(50 + rng.below(250)),
+        );
+    }
+    for _ in 0..rng.below(3) {
+        let from = rng.below(npes) as u32;
+        let mut to = rng.below(npes) as u32;
+        if to == from {
+            to = (to + 1) % npes as u32;
+        }
+        let start = rng.below(1_500_000);
+        let len = 50_000 + rng.below(500_000);
+        plan = plan.outage(Pe(from), Pe(to), SimTime(start), SimTime(start + len));
+    }
+    if rng.chance(0.4) {
+        let pe = rng.below(npes) as u32;
+        let at = rng.below(1_000_000);
+        let until = at + 100_000 + rng.below(1_000_000);
+        plan = plan.stall(Pe(pe), SimTime(at), SimTime(until));
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+    use multicomputer::FaultClass;
+
+    #[test]
+    fn storms_replay_from_their_specs() {
+        let mut rng = FaultRng::new(0x5701214);
+        for _ in 0..200 {
+            let sc = scenario::generate(&mut rng);
+            let storm = generate(&mut rng, &sc);
+            let spec = storm.spec();
+            assert_eq!(
+                FaultPlan::parse(&spec).expect("storm specs parse").spec(),
+                spec
+            );
+        }
+    }
+
+    #[test]
+    fn crashes_only_hit_survivable_scenarios_and_never_pe0() {
+        let mut rng = FaultRng::new(42);
+        let mut crashes = 0;
+        for _ in 0..500 {
+            let sc = scenario::generate(&mut rng);
+            let storm = generate(&mut rng, &sc);
+            let has_crash = storm.classes().contains(&FaultClass::Crash);
+            if has_crash {
+                crashes += 1;
+                assert!(sc.crash_survivable(), "crash outside the envelope");
+                // The spec names the crashed PE; PE 0 must never appear.
+                let spec = storm.spec();
+                for tok in spec.split_whitespace() {
+                    if let Some(rest) = tok.strip_prefix("crash=") {
+                        let pe: u32 = rest.split('@').next().unwrap().parse().unwrap();
+                        assert!(pe != 0, "crashed PE 0 in {spec}");
+                        assert!((pe as usize) < sc.npes, "crashed PE out of range");
+                    }
+                }
+            }
+        }
+        assert!(crashes > 20, "crash storms should appear (~1/8)");
+    }
+
+    #[test]
+    fn storm_stream_is_deterministic() {
+        let draw = |seed| {
+            let mut rng = FaultRng::new(seed);
+            (0..50)
+                .map(|_| {
+                    let sc = scenario::generate(&mut rng);
+                    generate(&mut rng, &sc).spec()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+}

@@ -222,6 +222,213 @@ impl FaultPlan {
             && self.outages.is_empty()
             && self.pe_faults.is_empty()
     }
+
+    /// The fault classes this plan can actually fire, in canonical
+    /// order. The unit a minimizer bisects over.
+    pub fn classes(&self) -> Vec<FaultClass> {
+        let mut out = Vec::new();
+        if self.drop_prob > 0.0 {
+            out.push(FaultClass::Drop);
+        }
+        if self.dup_prob > 0.0 {
+            out.push(FaultClass::Dup);
+        }
+        if self.delay_prob > 0.0 {
+            out.push(FaultClass::Delay);
+        }
+        if !self.outages.is_empty() {
+            out.push(FaultClass::Outage);
+        }
+        if self.pe_faults.iter().any(|f| matches!(f, PeFault::Stall { .. })) {
+            out.push(FaultClass::Stall);
+        }
+        if self.pe_faults.iter().any(|f| matches!(f, PeFault::Crash { .. })) {
+            out.push(FaultClass::Crash);
+        }
+        out
+    }
+
+    /// A copy of this plan with one fault class removed entirely.
+    ///
+    /// The seed and every other class are untouched, so each probe run
+    /// a minimizer makes stays a deterministic function of the reduced
+    /// plan alone. The probabilistic classes share one decision stream;
+    /// a disabled class still consumes its per-packet draw (see
+    /// [`FaultRng::chance`] at p = 0), but classes that early-out
+    /// (drop) or draw extra words (delay magnitude) shift the stream
+    /// for later packets — so probes are individually replayable, not
+    /// pointwise comparable to the original run.
+    pub fn without(&self, class: FaultClass) -> FaultPlan {
+        let mut p = self.clone();
+        match class {
+            FaultClass::Drop => p.drop_prob = 0.0,
+            FaultClass::Dup => p.dup_prob = 0.0,
+            FaultClass::Delay => {
+                p.delay_prob = 0.0;
+                p.max_extra_delay = Cost(0);
+            }
+            FaultClass::Outage => p.outages.clear(),
+            FaultClass::Stall => p.pe_faults.retain(|f| !matches!(f, PeFault::Stall { .. })),
+            FaultClass::Crash => p.pe_faults.retain(|f| !matches!(f, PeFault::Crash { .. })),
+        }
+        p
+    }
+
+    /// Serialize into the canonical one-line spec, parseable by
+    /// [`FaultPlan::parse`]. Probabilities use Rust's shortest-roundtrip
+    /// float formatting, so `parse(spec())` reproduces the plan exactly.
+    ///
+    /// Format (space-separated, classes omitted when inert):
+    /// `seed=0x1F drop=0.05 dup=0.02 delay=0.05/200000
+    ///  out=0>1@100-200 stall=5@300-1200 crash=3@0`
+    pub fn spec(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!("seed={:#x}", self.seed);
+        if self.drop_prob > 0.0 {
+            write!(s, " drop={}", self.drop_prob).unwrap();
+        }
+        if self.dup_prob > 0.0 {
+            write!(s, " dup={}", self.dup_prob).unwrap();
+        }
+        if self.delay_prob > 0.0 {
+            write!(s, " delay={}/{}", self.delay_prob, self.max_extra_delay.0).unwrap();
+        }
+        for o in &self.outages {
+            write!(s, " out={}>{}@{}-{}", o.from.0, o.to.0, o.start.0, o.end.0).unwrap();
+        }
+        for f in &self.pe_faults {
+            match *f {
+                PeFault::Stall { pe, at, until } => {
+                    write!(s, " stall={}@{}-{}", pe.0, at.0, until.0).unwrap();
+                }
+                PeFault::Crash { pe, at } => {
+                    write!(s, " crash={}@{}", pe.0, at.0).unwrap();
+                }
+            }
+        }
+        s
+    }
+
+    /// Parse a plan from the spec format produced by
+    /// [`FaultPlan::spec`]. Tokens may appear in any order; the `seed=`
+    /// token is required (a plan without a seed is not replayable).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        fn num(s: &str) -> Result<u64, String> {
+            if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                u64::from_str_radix(hex, 16).map_err(|e| format!("bad hex '{s}': {e}"))
+            } else {
+                s.parse().map_err(|e| format!("bad number '{s}': {e}"))
+            }
+        }
+        fn prob(s: &str) -> Result<f64, String> {
+            let p: f64 = s.parse().map_err(|e| format!("bad probability '{s}': {e}"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("probability {p} outside [0, 1]"));
+            }
+            Ok(p)
+        }
+        fn span(s: &str) -> Result<(u64, u64), String> {
+            let (a, b) = s
+                .split_once('-')
+                .ok_or_else(|| format!("expected START-END, got '{s}'"))?;
+            let (start, end) = (num(a)?, num(b)?);
+            if end <= start {
+                return Err(format!("empty window '{s}'"));
+            }
+            Ok((start, end))
+        }
+        let mut plan = FaultPlan::new(0);
+        let mut saw_seed = false;
+        for tok in spec.split_whitespace() {
+            let (key, val) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("expected KEY=VALUE, got '{tok}'"))?;
+            match key {
+                "seed" => {
+                    plan.seed = num(val)?;
+                    saw_seed = true;
+                }
+                "drop" => plan.drop_prob = prob(val)?,
+                "dup" => plan.dup_prob = prob(val)?,
+                "delay" => {
+                    let (p, max) = val
+                        .split_once('/')
+                        .ok_or_else(|| format!("expected delay=P/MAX_NS, got '{tok}'"))?;
+                    plan.delay_prob = prob(p)?;
+                    plan.max_extra_delay = Cost(num(max)?);
+                }
+                "out" => {
+                    let (link, window) = val
+                        .split_once('@')
+                        .ok_or_else(|| format!("expected out=FROM>TO@START-END, got '{tok}'"))?;
+                    let (from, to) = link
+                        .split_once('>')
+                        .ok_or_else(|| format!("expected FROM>TO, got '{link}'"))?;
+                    let (start, end) = span(window)?;
+                    plan = plan.outage(
+                        Pe(num(from)? as u32),
+                        Pe(num(to)? as u32),
+                        SimTime(start),
+                        SimTime(end),
+                    );
+                }
+                "stall" => {
+                    let (pe, window) = val
+                        .split_once('@')
+                        .ok_or_else(|| format!("expected stall=PE@START-END, got '{tok}'"))?;
+                    let (at, until) = span(window)?;
+                    plan = plan.stall(Pe(num(pe)? as u32), SimTime(at), SimTime(until));
+                }
+                "crash" => {
+                    let (pe, at) = val
+                        .split_once('@')
+                        .ok_or_else(|| format!("expected crash=PE@TIME, got '{tok}'"))?;
+                    plan = plan.crash(Pe(num(pe)? as u32), SimTime(num(at)?));
+                }
+                other => return Err(format!("unknown fault token '{other}'")),
+            }
+        }
+        if !saw_seed {
+            return Err("missing required 'seed=' token".into());
+        }
+        Ok(plan)
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.spec())
+    }
+}
+
+/// One bisectable class of faults in a [`FaultPlan`] — the granularity
+/// at which a failure minimizer strips a plan down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Probabilistic packet drop.
+    Drop,
+    /// Probabilistic packet duplication.
+    Dup,
+    /// Probabilistic extra delivery delay.
+    Delay,
+    /// Scheduled link outage windows.
+    Outage,
+    /// Scheduled transient PE stalls.
+    Stall,
+    /// Scheduled permanent PE crashes.
+    Crash,
+}
+
+impl FaultClass {
+    /// All classes, in the canonical bisection order.
+    pub const ALL: [FaultClass; 6] = [
+        FaultClass::Drop,
+        FaultClass::Dup,
+        FaultClass::Delay,
+        FaultClass::Outage,
+        FaultClass::Stall,
+        FaultClass::Crash,
+    ];
 }
 
 /// Verdict for one routed packet.
@@ -454,5 +661,116 @@ mod tests {
         assert!(FaultPlan::new(1).is_noop());
         assert!(!FaultPlan::new(1).drop(0.01).is_noop());
         assert!(!FaultPlan::new(1).crash(Pe(0), SimTime(0)).is_noop());
+    }
+
+    fn full_plan() -> FaultPlan {
+        FaultPlan::new(0xBAD_5EED)
+            .drop(0.05)
+            .duplicate(0.02)
+            .delay(0.07, Cost(200_000))
+            .outage(Pe(0), Pe(1), SimTime(100), SimTime(200))
+            .outage(Pe(2), Pe(3), SimTime(500), SimTime(900))
+            .stall(Pe(5), SimTime(300), SimTime(1_200))
+            .crash(Pe(3), SimTime(0))
+    }
+
+    /// Structural equality for plans (FaultPlan has no PartialEq: the
+    /// float probabilities make a blanket derive a footgun elsewhere).
+    fn same_plan(a: &FaultPlan, b: &FaultPlan) -> bool {
+        a.seed == b.seed
+            && a.drop_prob == b.drop_prob
+            && a.dup_prob == b.dup_prob
+            && a.delay_prob == b.delay_prob
+            && a.max_extra_delay == b.max_extra_delay
+            && a.outages == b.outages
+            && a.pe_faults == b.pe_faults
+    }
+
+    #[test]
+    fn spec_roundtrips_exactly() {
+        let plan = full_plan();
+        let parsed = FaultPlan::parse(&plan.spec()).expect("own spec must parse");
+        assert!(same_plan(&plan, &parsed), "{} != {}", plan, parsed);
+        // An awkward float must survive the round trip bit-for-bit.
+        let odd = FaultPlan::new(7).drop(0.1234567890123 / 3.0);
+        let parsed = FaultPlan::parse(&odd.spec()).unwrap();
+        assert_eq!(odd.drop_prob.to_bits(), parsed.drop_prob.to_bits());
+        // Noop plan: just the seed.
+        assert_eq!(FaultPlan::new(0x1F).spec(), "seed=0x1f");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "",                          // no seed
+            "drop=0.1",                  // no seed either
+            "seed=1 drop=1.5",           // probability out of range
+            "seed=1 delay=0.1",          // missing /MAX
+            "seed=1 out=0>1@200-100",    // empty window
+            "seed=1 stall=2@50-50",      // empty window
+            "seed=1 flood=0.5",          // unknown class
+            "seed=1 crash=3",            // missing @TIME
+            "seed=zz",                   // bad number
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted: '{bad}'");
+        }
+    }
+
+    #[test]
+    fn classes_and_without_cover_every_class() {
+        let plan = full_plan();
+        assert_eq!(
+            plan.classes(),
+            vec![
+                FaultClass::Drop,
+                FaultClass::Dup,
+                FaultClass::Delay,
+                FaultClass::Outage,
+                FaultClass::Stall,
+                FaultClass::Crash,
+            ]
+        );
+        for class in FaultClass::ALL {
+            let reduced = plan.without(class);
+            assert!(
+                !reduced.classes().contains(&class),
+                "{class:?} survived removal"
+            );
+            assert_eq!(reduced.classes().len(), plan.classes().len() - 1);
+            assert_eq!(reduced.seed, plan.seed, "removal must not reseed");
+        }
+        // Removing every class yields a noop plan (minimizer endpoint).
+        let mut bare = plan;
+        for class in FaultClass::ALL {
+            bare = bare.without(class);
+        }
+        assert!(bare.is_noop());
+    }
+
+    #[test]
+    fn without_dup_preserves_the_decision_stream() {
+        // The duplication class consumes exactly one draw per delivered
+        // packet whether enabled or not, so removing it must leave every
+        // drop and delay decision on the same packets.
+        let plan = FaultPlan::new(42).drop(0.3).duplicate(0.2).delay(0.2, Cost(100));
+        let mut full = FaultState::new(plan.clone());
+        let mut nodup = FaultState::new(plan.without(FaultClass::Dup));
+        for i in 0..2_000u64 {
+            let full_v = full.judge(Pe(0), Pe(1), SimTime(i));
+            let nodup_v = nodup.judge(Pe(0), Pe(1), SimTime(i));
+            match (full_v, nodup_v) {
+                (LinkVerdict::Drop, LinkVerdict::Drop) => {}
+                (
+                    LinkVerdict::Deliver { extra: a, duplicate: _ },
+                    LinkVerdict::Deliver { extra: b, duplicate: dup },
+                ) => {
+                    assert_eq!(a, b, "packet {i}: delay decision shifted");
+                    assert!(!dup, "packet {i}: removed class fired");
+                }
+                (a, b) => panic!("packet {i}: drop decision shifted ({a:?} vs {b:?})"),
+            }
+        }
+        assert_eq!(full.stats.dropped, nodup.stats.dropped);
+        assert_eq!(full.stats.delayed, nodup.stats.delayed);
     }
 }

@@ -54,7 +54,7 @@ pub mod topology;
 pub mod trace;
 
 pub use cost::{CostModel, MachinePreset};
-pub use fault::{FaultPlan, FaultStats, LinkOutage, PeFault};
+pub use fault::{FaultClass, FaultPlan, FaultRng, FaultStats, LinkOutage, PeFault};
 pub use pe::Pe;
 pub use program::{
     FnFactory, NetCtx, NodeFactory, NodeProgram, Packet, Payload, Replayable, StepKind,

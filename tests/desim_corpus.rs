@@ -1,0 +1,40 @@
+//! Tier-1 replay of the desim regression corpus.
+//!
+//! Every entry under `tests/desim_corpus/` is a (scenario, storm) pair
+//! the campaign once exercised — crash recovery, heavy drop, link
+//! outages, head-of-line blocking at minimum window — committed so the
+//! exact adversarial schedule replays on every CI run forever. A
+//! malformed entry fails the test too: a corpus file that silently
+//! stops parsing is a regression guard that silently stopped guarding.
+
+use std::path::Path;
+
+use ck_desim::{corpus, DEFAULT_MAX_EVENTS};
+
+#[test]
+fn desim_corpus_replays_green() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/desim_corpus");
+    let entries = corpus::load_dir(&dir).expect("corpus directory exists");
+    assert!(
+        entries.len() >= 8,
+        "the committed corpus should not shrink; found {}",
+        entries.len()
+    );
+    let mut failures = Vec::new();
+    for (name, entry) in entries {
+        match entry {
+            Err(e) => failures.push(format!("{name}: malformed entry: {e}")),
+            Ok(entry) => {
+                let rec = corpus::replay(&entry, DEFAULT_MAX_EVENTS);
+                if !rec.passed() {
+                    failures.push(format!(
+                        "{name}: {:?}\n  repro: {}",
+                        rec.violations,
+                        rec.repro()
+                    ));
+                }
+            }
+        }
+    }
+    assert!(failures.is_empty(), "corpus regressions:\n{}", failures.join("\n"));
+}
