@@ -58,6 +58,7 @@ pub mod chare;
 pub mod ctx;
 pub mod envelope;
 pub mod ids;
+pub mod metrics;
 pub mod msg;
 pub mod node;
 pub mod pool;
@@ -78,6 +79,7 @@ pub use chare::{cast, Chare, ChareInit};
 pub use ctx::Ctx;
 pub use envelope::MsgBody;
 pub use ids::{Boc, BocId, ChareId, ChareKind, EpId, Kind, Notify, WoId};
+pub use metrics::{Histogram, MetricsConfig, MetricsLog, PeMetricSet, Slice};
 pub use msg::Message;
 pub use priority::{BitPrio, Priority};
 pub use program::{CkReport, Program, ProgramBuilder};
@@ -108,6 +110,7 @@ pub mod prelude {
         Acc, AccResult, Accum, MaxF64, MinBoundU64, MinU64, Mono, MonoVar, QuiescenceMsg,
         ReadOnly, SumF64, SumU64, TableAck, TableGot, TableRef, WoReady,
     };
+    pub use crate::metrics::{MetricsConfig, MetricsLog};
     pub use crate::trace::{EventKind, TraceConfig, TraceLog};
     pub use multicomputer::{Cost, FaultPlan, MachinePreset, Pe, SimConfig, Topology};
     #[cfg(feature = "threads")]

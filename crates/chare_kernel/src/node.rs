@@ -21,6 +21,7 @@ use crate::chare::Chare;
 use crate::ctx::{Ctx, Current};
 use crate::envelope::{CastGen, MsgBody, SysMsg, WorkItem, PLACED};
 use crate::ids::{AccId, BocId, ChareId, ChareKind, Notify, WoId};
+use crate::metrics::PeMetrics;
 use crate::msg::Message;
 use crate::priority::Priority;
 use crate::queueing::SchedQueue;
@@ -57,7 +58,6 @@ const GRANT_MAX: usize = 16;
 const COMBINE_MAX_BYTES: u32 = 512;
 
 /// Per-program runtime knobs handed to every node.
-#[derive(Clone)]
 pub(crate) struct NodeOptions {
     pub bcast: BroadcastMode,
     pub combining: bool,
@@ -67,6 +67,8 @@ pub(crate) struct NodeOptions {
     pub reliable: Option<ReliableConfig>,
     /// Structured event recording handle (`None` = tracing off).
     pub tracer: Option<PeTracer>,
+    /// Streaming-metrics recording handle (`None` = metrics off).
+    pub metrics: Option<PeMetrics>,
 }
 
 pub(crate) struct CollectState {
@@ -130,6 +132,10 @@ pub struct CkNode {
     /// run's schedule.
     #[cfg_attr(not(feature = "trace"), allow(dead_code))]
     tracer: Option<PeTracer>,
+    /// Streaming-metrics recording (`None` = metrics off). Same
+    /// discipline as `tracer`: passive, never perturbs the schedule.
+    #[cfg_attr(not(feature = "metrics"), allow(dead_code))]
+    metrics: Option<PeMetrics>,
     /// Last queue length recorded, so samples fire only on change.
     #[cfg_attr(not(feature = "trace"), allow(dead_code))]
     last_q_sample: Option<u32>,
@@ -183,6 +189,7 @@ impl CkNode {
             ),
             counters: KernelCounters::default(),
             tracer: opts.tracer,
+            metrics: opts.metrics,
             last_q_sample: None,
             last_advertised: None,
             awaiting_work: false,
@@ -241,6 +248,21 @@ impl CkNode {
     #[inline(always)]
     fn sample_queue(&mut self, _net: &dyn NetCtx) {}
 
+    /// The metrics recording handle, or `None` — a compile-time
+    /// constant `None` without the `metrics` feature, so every
+    /// `if let Some(m) = self.m()` recording site folds away.
+    #[cfg(feature = "metrics")]
+    #[inline]
+    fn m(&self) -> Option<&PeMetrics> {
+        self.metrics.as_ref()
+    }
+
+    #[cfg(not(feature = "metrics"))]
+    #[inline(always)]
+    fn m(&self) -> Option<&PeMetrics> {
+        None
+    }
+
     /// Runnable user backlog (queued messages + pooled seeds).
     pub(crate) fn user_load(&self) -> usize {
         self.queue.len() + self.pool.len()
@@ -251,6 +273,9 @@ impl CkNode {
         let load = self.user_load() as u64;
         if load > self.counters.queue_hwm {
             self.counters.queue_hwm = load;
+            if let Some(m) = self.m() {
+                m.on_queue_depth(load);
+            }
         }
     }
 
@@ -277,6 +302,13 @@ impl CkNode {
                 _ => 0,
             },
         });
+        if let Some(m) = self.m() {
+            let hops = match &sys {
+                SysMsg::NewChare { hops, .. } => *hops,
+                _ => 0,
+            };
+            m.on_send(net.now_ns(), to, &sys, hops);
+        }
         if self.combining && to != self.pe && sys.wire_bytes() <= COMBINE_MAX_BYTES {
             self.outbuf[to.index()].push(sys);
             return;
@@ -406,6 +438,9 @@ impl CkNode {
             }
         };
         self.trace(&*net, || EventKind::SeedRedirected { to: target });
+        if let Some(m) = self.m() {
+            m.on_seed_redirected(net.now_ns(), target);
+        }
         if let SysMsg::NewChare {
             kind,
             seed,
@@ -555,6 +590,9 @@ impl CkNode {
             Placement::Local => {
                 self.counters.seeds_kept += 1;
                 self.trace(&*net, || EventKind::SeedKept { kind, hops });
+                if let Some(m) = self.m() {
+                    m.on_seed_kept(net.now_ns(), kind, hops);
+                }
                 self.nack_budget = NACK_BUDGET;
                 self.awaiting_work = false;
                 let item = WorkItem::NewChare {
@@ -577,6 +615,9 @@ impl CkNode {
             Placement::Forward(pe) => {
                 self.counters.seeds_forwarded += 1;
                 self.trace(&*net, || EventKind::SeedForwarded { kind, to: pe, hops });
+                if let Some(m) = self.m() {
+                    m.on_seed_forwarded(net.now_ns(), kind, pe, hops);
+                }
                 self.post(
                     net,
                     pe,
@@ -859,19 +900,23 @@ impl CkNode {
     /// Execute one unit of user work.
     fn exec_item(&mut self, net: &mut dyn NetCtx, item: WorkItem) {
         self.counters.entries_executed += 1;
-        self.trace(&*net, || {
-            let (what, ep) = match &item {
-                WorkItem::NewChare { kind, .. } => (EntryWhat::Create(*kind), None),
-                WorkItem::ChareMsg { local, ep, .. } => (EntryWhat::Chare(*local), Some(*ep)),
-                WorkItem::BranchMsg { boc, ep, .. } => (EntryWhat::Branch(*boc), Some(*ep)),
-            };
-            EventKind::EntryBegin { what, ep }
-        });
+        let (what, ep) = match &item {
+            WorkItem::NewChare { kind, .. } => (EntryWhat::Create(*kind), None),
+            WorkItem::ChareMsg { local, ep, .. } => (EntryWhat::Chare(*local), Some(*ep)),
+            WorkItem::BranchMsg { boc, ep, .. } => (EntryWhat::Branch(*boc), Some(*ep)),
+        };
+        self.trace(&*net, || EventKind::EntryBegin { what, ep });
         let sent_before = self.counters.user_sent;
+        // The simulator's clock stands still inside a handler, so the
+        // entry's grain is the charge delta across it, not a time delta.
+        let charged_before = net.charged_ns();
         self.run_item(net, item);
         self.trace(&*net, || EventKind::EntryEnd {
             msgs_sent: (self.counters.user_sent - sent_before) as u32,
         });
+        if let Some(m) = self.m() {
+            m.on_entry(net.now_ns(), what, ep, net.charged_ns() - charged_before);
+        }
     }
 
     /// Run the handler behind one work item.
@@ -1064,6 +1109,9 @@ impl NodeProgram for CkNode {
                 self.counters.seeds_kept += 1;
                 let kind = main.kind;
                 self.trace(&*net, || EventKind::SeedKept { kind, hops: 0 });
+                if let Some(m) = self.m() {
+                    m.on_seed_kept(net.now_ns(), kind, 0);
+                }
                 self.queue.push(
                     Priority::None,
                     WorkItem::NewChare {
@@ -1086,6 +1134,7 @@ impl NodeProgram for CkNode {
         let Packet {
             from,
             at_ns,
+            sent_ns,
             payload,
             ..
         } = pkt;
@@ -1093,13 +1142,24 @@ impl NodeProgram for CkNode {
             .downcast::<SysMsg>()
             .expect("kernel node received a non-kernel packet");
         let sys = crate::pool::reclaim(bx);
-        self.classify_incoming(at_ns, from, sys);
+        self.classify_incoming(at_ns, sent_ns, from, sys);
         self.note_backlog();
     }
 
     fn step(&mut self, net: &mut dyn NetCtx) -> Option<StepKind> {
+        #[cfg(feature = "metrics")]
+        let (step_start, charged_before) = (net.now_ns(), net.charged_ns());
         let r = self.step_inner(net);
         self.flush_outbuf(net);
+        #[cfg(feature = "metrics")]
+        if let Some(m) = &self.metrics {
+            let charged = net.charged_ns() - charged_before;
+            match r {
+                Some(StepKind::User) => m.on_user_step(step_start, charged),
+                Some(StepKind::Control) => m.on_ctl_step(step_start, charged),
+                None => {}
+            }
+        }
         r
     }
 
@@ -1118,6 +1178,8 @@ impl NodeProgram for CkNode {
             return;
         };
         let now = net.now_ns();
+        #[cfg(feature = "metrics")]
+        let charged_before = net.charged_ns();
         let actions = rel.on_alarm(now);
         for rt in actions.retransmits {
             self.counters.retransmits += 1;
@@ -1125,6 +1187,9 @@ impl NodeProgram for CkNode {
                 to: rt.to,
                 seq: rt.seq,
             });
+            if let Some(m) = self.m() {
+                m.on_retransmit(now, rt.to, rt.seq);
+            }
             net.send(
                 rt.to,
                 frame_wire_bytes(rt.inner_bytes),
@@ -1136,6 +1201,12 @@ impl NodeProgram for CkNode {
         }
         if let Some(after) = self.rel.as_mut().expect("checked above").rearm(now) {
             net.set_alarm(after);
+        }
+        #[cfg(feature = "metrics")]
+        if let Some(m) = &self.metrics {
+            // Alarm handlers run as pure control time (the machine
+            // charges them no dispatch overhead).
+            m.on_alarm(now, net.charged_ns() - charged_before);
         }
     }
 
@@ -1163,9 +1234,11 @@ impl NodeProgram for CkNode {
 impl CkNode {
     /// File one arrived envelope into the right queue (unpacking
     /// batches). Runs no user code. `at` is the packet's arrival
-    /// timestamp, threaded through batch/frame unwrapping so every
-    /// unpacked message is logged at the instant it truly arrived.
-    fn classify_incoming(&mut self, at: u64, from: Pe, sys: SysMsg) {
+    /// timestamp and `sent_ns` its machine-stamped send instant, both
+    /// threaded through batch/frame unwrapping so every unpacked
+    /// message is logged at the instant it truly arrived with its true
+    /// delivery latency.
+    fn classify_incoming(&mut self, at: u64, sent_ns: u64, from: Pe, sys: SysMsg) {
         // Reliable transport framing peels off first: ack every frame
         // (fresh or duplicate), deliver bodies exactly once and in
         // sequence order per link.
@@ -1176,14 +1249,14 @@ impl CkNode {
                     Some(Accept::Dup) => self.counters.dup_dropped += 1,
                     Some(Accept::Deliver(run)) => {
                         for inner in run {
-                            self.classify_incoming(at, from, inner);
+                            self.classify_incoming(at, sent_ns, from, inner);
                         }
                     }
                     // Frame without reliable mode (shouldn't happen):
                     // deliver the body, nobody will ack.
                     None => {
                         if let Some(inner) = slot.lock().expect("slot lock").take() {
-                            self.classify_incoming(at, from, inner);
+                            self.classify_incoming(at, sent_ns, from, inner);
                         }
                     }
                 }
@@ -1201,7 +1274,7 @@ impl CkNode {
         if let SysMsg::Batch(inner) = sys {
             let mut inner = inner;
             for m in inner.drain(..) {
-                self.classify_incoming(at, from, m);
+                self.classify_incoming(at, sent_ns, from, m);
             }
             crate::pool::recycle_batch(inner);
             return;
@@ -1214,6 +1287,9 @@ impl CkNode {
             class: MsgClass::of(&sys),
             bytes: sys.wire_bytes(),
         });
+        if let Some(m) = self.m() {
+            m.on_recv(at, sent_ns, from, MsgClass::of(&sys), sys.wire_bytes());
+        }
         match sys {
             SysMsg::ChareMsg {
                 target,
@@ -1344,6 +1420,7 @@ mod tests {
                 rng_seed: 7,
                 reliable: None,
                 tracer: None,
+                metrics: None,
             },
         )
     }
@@ -1419,6 +1496,7 @@ mod tests {
             rng_seed: 7,
             reliable: None,
             tracer: None,
+            metrics: None,
         };
         let mut node = CkNode::new(Pe(0), 4, reg, queue, balancer, opts);
         let mut net = MockNet::new(Pe(0), 4);
@@ -1466,6 +1544,7 @@ mod tests {
             rng_seed: 7,
             reliable: None,
             tracer: None,
+            metrics: None,
         };
         let mut node = CkNode::new(Pe(1), 4, reg, queue, balancer, opts);
         let mut net = MockNet::new(Pe(1), 4);
@@ -1506,6 +1585,7 @@ mod tests {
             rng_seed: 7,
             reliable: None,
             tracer: None,
+            metrics: None,
         };
         let mut node = CkNode::new(Pe(1), 4, reg, queue, balancer, opts);
         let mut net = MockNet::new(Pe(1), 4);

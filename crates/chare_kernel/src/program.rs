@@ -12,8 +12,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use multicomputer::{
-    imbalance, AbortReason, Cost, FaultStats, NodeFactory, Payload, Pe, SimConfig, SimMachine,
-    SimTime, Topology,
+    imbalance, AbortReason, BacklogSummary, Cost, FaultStats, NodeFactory, Payload, Pe, SimConfig,
+    SimMachine, SimTime, Topology,
 };
 use multicomputer::{MachinePreset, NodeStats};
 #[cfg(feature = "threads")]
@@ -24,6 +24,7 @@ use crate::bcast::BroadcastMode;
 use crate::boc::BranchInit;
 use crate::chare::ChareInit;
 use crate::ids::{Boc, BocId, ChareKind, Kind, RoId};
+use crate::metrics::{MetricsConfig, MetricsLog, MetricsSink};
 use crate::msg::Message;
 use crate::node::{CkNode, NodeOptions};
 use crate::queueing::QueueingStrategy;
@@ -42,6 +43,7 @@ pub struct ProgramBuilder {
     rng_seed: u64,
     reliable: Option<ReliableConfig>,
     tracing: Option<TraceConfig>,
+    metrics: Option<MetricsConfig>,
 }
 
 impl Default for ProgramBuilder {
@@ -63,6 +65,7 @@ impl ProgramBuilder {
             rng_seed: 0x5EED_CAFE,
             reliable: None,
             tracing: None,
+            metrics: None,
         }
     }
 
@@ -189,6 +192,17 @@ impl ProgramBuilder {
         self
     }
 
+    /// Enable streaming metrics: every node folds interval time slices,
+    /// latency/grain histograms, queue high-watermarks and a flight
+    /// recorder online (O(PEs × buckets) memory, independent of run
+    /// length), collected into [`CkReport::metrics`] after the run.
+    /// Recording is passive — results and timing are identical with
+    /// metrics on or off.
+    pub fn metrics(&mut self, cfg: MetricsConfig) -> &mut Self {
+        self.metrics = Some(cfg);
+        self
+    }
+
     /// Finalize into an immutable, reusable [`Program`].
     pub fn build(self) -> Program {
         Program {
@@ -200,6 +214,7 @@ impl ProgramBuilder {
             rng_seed: self.rng_seed,
             reliable: self.reliable,
             tracing: self.tracing,
+            metrics: self.metrics,
         }
     }
 }
@@ -216,6 +231,7 @@ pub struct Program {
     rng_seed: u64,
     reliable: Option<ReliableConfig>,
     tracing: Option<TraceConfig>,
+    metrics: Option<MetricsConfig>,
 }
 
 impl Program {
@@ -261,24 +277,57 @@ impl Program {
         p
     }
 
+    /// A copy of this program with streaming metrics enabled — sugar
+    /// for telemetry over an already-built program (see
+    /// [`ProgramBuilder::metrics`]).
+    pub fn with_metrics(&self, cfg: MetricsConfig) -> Program {
+        let mut p = self.clone();
+        p.metrics = Some(cfg);
+        p
+    }
+
     /// One trace sink per run, sized for `npes` PEs (shared by the
     /// factory-built nodes and drained into the report afterwards).
     fn trace_sink(&self, npes: usize) -> Option<Arc<TraceSink>> {
         self.tracing.map(|cfg| TraceSink::shared(npes, cfg))
     }
 
-    fn factory(&self, topology: Topology, sink: Option<Arc<TraceSink>>) -> CkFactory {
+    /// One metrics sink per run. The hosting machine's dispatch
+    /// overheads parameterize the per-step dispatch/work split (zero on
+    /// the thread backend, where charges are no-ops anyway).
+    fn metrics_sink(
+        &self,
+        npes: usize,
+        dispatch_ns: u64,
+        ctl_dispatch_ns: u64,
+    ) -> Option<Arc<MetricsSink>> {
+        self.metrics
+            .map(|cfg| MetricsSink::shared(npes, cfg, dispatch_ns, ctl_dispatch_ns))
+    }
+
+    fn factory(
+        &self,
+        topology: Topology,
+        sink: Option<Arc<TraceSink>>,
+        msink: Option<Arc<MetricsSink>>,
+    ) -> CkFactory {
         CkFactory {
             prog: self.clone(),
             topology,
             sink,
+            msink,
         }
     }
 
     /// Run on the discrete-event simulator.
     pub fn run_sim(&self, cfg: SimConfig) -> CkReport {
         let sink = self.trace_sink(cfg.npes);
-        let factory = self.factory(cfg.topology.clone(), sink.clone());
+        let msink = self.metrics_sink(
+            cfg.npes,
+            cfg.cost.dispatch.as_nanos(),
+            cfg.cost.ctl_dispatch.as_nanos(),
+        );
+        let factory = self.factory(cfg.topology.clone(), sink.clone(), msink.clone());
         let rep = SimMachine::run_factory(cfg, &factory);
         CkReport {
             time_ns: rep.end_time.as_nanos(),
@@ -286,6 +335,7 @@ impl Program {
             node_stats: rep.node_stats,
             timed_out: false,
             trace: sink.map(|s| s.drain()),
+            metrics: msink.map(|s| s.drain(rep.end_time.as_nanos())),
             sim: Some(SimDetail {
                 end_time: rep.end_time,
                 utilization: {
@@ -328,14 +378,17 @@ impl Program {
     #[cfg(feature = "threads")]
     pub fn run_threads_cfg(&self, cfg: ThreadConfig, topology: Topology) -> CkReport {
         let sink = self.trace_sink(cfg.npes);
-        let factory = self.factory(topology, sink.clone());
+        let msink = self.metrics_sink(cfg.npes, 0, 0);
+        let factory = self.factory(topology, sink.clone(), msink.clone());
         let rep = ThreadMachine::run(cfg, &factory);
+        let wall_ns = rep.wall.as_nanos() as u64;
         CkReport {
-            time_ns: rep.wall.as_nanos() as u64,
+            time_ns: wall_ns,
             result: rep.result,
             node_stats: rep.node_stats,
             timed_out: rep.timed_out,
             trace: sink.map(|s| s.drain()),
+            metrics: msink.map(|s| s.drain(wall_ns)),
             sim: None,
         }
     }
@@ -347,6 +400,7 @@ pub struct CkFactory {
     prog: Program,
     topology: Topology,
     sink: Option<Arc<TraceSink>>,
+    msink: Option<Arc<MetricsSink>>,
 }
 
 impl NodeFactory for CkFactory {
@@ -375,6 +429,7 @@ impl NodeFactory for CkFactory {
                 rng_seed: self.prog.rng_seed,
                 reliable: self.prog.reliable,
                 tracer: self.sink.as_ref().map(|s| s.tracer_for(pe)),
+                metrics: self.msink.as_ref().map(|s| s.recorder_for(pe)),
             },
         )
     }
@@ -402,8 +457,9 @@ pub struct SimDetail {
     pub aborted: Option<AbortReason>,
     /// Fault-injection tallies, when the machine ran with a fault plan.
     pub faults: Option<FaultStats>,
-    /// Backlog samples, if sampling was enabled.
-    pub samples: Vec<(SimTime, Vec<usize>)>,
+    /// Backlog samples (streaming per-instant aggregates), if sampling
+    /// was enabled.
+    pub samples: Vec<BacklogSummary>,
     /// Execution spans, if tracing was enabled.
     pub timeline: Vec<multicomputer::TraceSpan>,
 }
@@ -422,6 +478,9 @@ pub struct CkReport {
     /// The kernel event log, when the program ran with tracing enabled
     /// (see [`ProgramBuilder::tracing`]).
     pub trace: Option<TraceLog>,
+    /// The streaming-metrics snapshot, when the program ran with
+    /// metrics enabled (see [`ProgramBuilder::metrics`]).
+    pub metrics: Option<MetricsLog>,
     /// Simulator-only detail.
     pub sim: Option<SimDetail>,
 }

@@ -227,7 +227,7 @@ pub struct TraceEvent {
 
 /// Fixed-capacity ring of events; overwrites oldest when full.
 #[derive(Debug, Default)]
-struct RingLog {
+pub(crate) struct RingLog {
     cap: usize,
     /// Index of the oldest event once the ring has wrapped.
     start: usize,
@@ -236,7 +236,7 @@ struct RingLog {
 }
 
 impl RingLog {
-    fn new(cap: usize) -> Self {
+    pub(crate) fn new(cap: usize) -> Self {
         RingLog {
             cap: cap.max(1),
             start: 0,
@@ -245,18 +245,24 @@ impl RingLog {
         }
     }
 
-    fn push(&mut self, ev: TraceEvent) {
+    pub(crate) fn push(&mut self, ev: TraceEvent) {
         if self.events.len() < self.cap {
             self.events.push(ev);
         } else {
+            // Compare-and-reset instead of `% cap`: once the ring is
+            // full this runs on every push, and an integer division
+            // here is measurable against the simulator's event cost.
             self.events[self.start] = ev;
-            self.start = (self.start + 1) % self.cap;
+            self.start += 1;
+            if self.start == self.cap {
+                self.start = 0;
+            }
             self.dropped += 1;
         }
     }
 
     /// Events in arrival order.
-    fn drain(&mut self) -> (Vec<TraceEvent>, u64) {
+    pub(crate) fn drain(&mut self) -> (Vec<TraceEvent>, u64) {
         let mut out = Vec::with_capacity(self.events.len());
         out.extend_from_slice(&self.events[self.start..]);
         out.extend_from_slice(&self.events[..self.start]);

@@ -1,0 +1,109 @@
+//! Property tests for the streaming-metrics accumulators.
+//!
+//! The histograms and interval slices of [`chare_kernel::metrics`] are
+//! the online replacements for "keep every sample and analyze later" —
+//! they are only trustworthy if aggregation is *exact*, not
+//! approximately right on nice inputs. These properties pin that down
+//! over arbitrary `u64` samples: shard-merge equals bulk ingest, every
+//! sample lands in the bucket whose bounds contain it, bucketing is
+//! monotone, quantile bounds never cross, and interval slices conserve
+//! attributed time under any capacity (i.e. however often the width
+//! doubled).
+
+use chare_kernel::metrics::{Histogram, Slice, TimeSlices};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    /// Merging per-shard histograms is exactly bulk ingest: same
+    /// counts, sum, max and buckets regardless of how samples were
+    /// partitioned.
+    #[test]
+    fn merge_of_shards_equals_bulk_ingest(
+        samples in vec(any::<u64>(), 0..400),
+        nshards in 1usize..8,
+    ) {
+        let mut bulk = Histogram::new();
+        for &s in &samples {
+            bulk.record(s);
+        }
+        let mut shards = vec![Histogram::new(); nshards];
+        for (i, &s) in samples.iter().enumerate() {
+            shards[i % nshards].record(s);
+        }
+        let mut merged = Histogram::new();
+        for sh in &shards {
+            merged.merge(sh);
+        }
+        prop_assert_eq!(merged, bulk);
+    }
+
+    /// Every sample lands in a bucket whose reported bounds contain it,
+    /// and bucket assignment is monotone in the sample value.
+    #[test]
+    fn bucket_bounds_contain_their_samples(v in any::<u64>()) {
+        let b = Histogram::bucket_of(v);
+        let (lo, hi) = Histogram::bucket_bounds(b);
+        prop_assert!(lo <= v || v == 0, "v={v} below bucket {b} lo={lo}");
+        // Bucket 63's upper bound saturates at u64::MAX inclusive.
+        prop_assert!(v < hi || (b == 63 && v <= hi), "v={v} above bucket {b} hi={hi}");
+        // Monotonicity at the sample: the next value never maps to a
+        // smaller bucket.
+        if v < u64::MAX {
+            prop_assert!(Histogram::bucket_of(v + 1) >= b);
+        }
+    }
+
+    /// Quantile bounds are monotone in q and bracketed by the data:
+    /// at least the smallest sample's bucket, at most one octave above
+    /// the maximum.
+    #[test]
+    fn quantile_bounds_are_monotone(samples in vec(any::<u64>(), 1..200)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let qs = [0.0, 0.25, 0.5, 0.9, 0.99, 1.0];
+        let bounds: Vec<u64> = qs.iter().map(|&q| h.quantile_bound(q)).collect();
+        for w in bounds.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantile bounds crossed: {bounds:?}");
+        }
+        let max_bucket_hi = Histogram::bucket_bounds(Histogram::bucket_of(h.max)).1;
+        prop_assert!(bounds[5] <= max_bucket_hi);
+        prop_assert!(bounds[0] >= 1);
+    }
+
+    /// A set of spans attributed through `add_span` is conserved
+    /// exactly — the per-bucket shares sum back to the total span time
+    /// — no matter the bucket budget (and therefore no matter how many
+    /// times the width doubled along the way).
+    #[test]
+    fn time_slices_conserve_attributed_time(
+        spans in vec((0u64..1 << 20, 0u64..1 << 12), 0..60),
+        cap in 2usize..32,
+    ) {
+        let mut ts = TimeSlices::new(64, cap);
+        let mut expect = 0u64;
+        for &(start, dur) in &spans {
+            ts.add_span(start, dur, |s: &mut Slice, share| s.work_ns += share);
+            expect += dur;
+        }
+        let got: u64 = ts.slices().iter().map(|s| s.work_ns).sum();
+        prop_assert_eq!(got, expect);
+        prop_assert!(ts.slices().len() <= cap);
+    }
+
+    /// Point increments (`bump`) are likewise never lost to coalescing.
+    #[test]
+    fn time_slices_conserve_counters(
+        ats in vec(0u64..1 << 24, 0..100),
+        cap in 2usize..16,
+    ) {
+        let mut ts = TimeSlices::new(128, cap);
+        for &t in &ats {
+            ts.bump(t, |s| s.msgs_sent += 1);
+        }
+        let got: u64 = ts.slices().iter().map(|s| s.msgs_sent).sum();
+        prop_assert_eq!(got, ats.len() as u64);
+    }
+}

@@ -1,0 +1,155 @@
+//! Streaming metrics must observe, never perturb.
+//!
+//! The metrics subsystem (interval slices, latency/grain histograms,
+//! queue high-watermarks, flight recorder) is a passive recorder with
+//! the same zero-perturbation contract as the trace module: no
+//! messages, no charged time, no scheduling decisions. These tests pin
+//! that down on real benchmarks — a metered run must be
+//! *byte-identical* to an unmetered one — and check that the streaming
+//! aggregates agree with the kernel's own counters, which were
+//! accumulated by entirely separate code.
+
+use chare_kernel::metrics::MetricsConfig;
+use chare_kernel::prelude::*;
+use ck_apps::{fib, nqueens};
+
+fn fib_prog() -> Program {
+    fib::build_default(fib::FibParams { n: 16, grain: 9 })
+}
+
+/// Metrics on vs. off: identical completion time, simulator event
+/// count, packet/byte totals and kernel counters — the analogue of the
+/// trace layer's zero-perturbation test.
+#[test]
+fn metrics_on_is_byte_identical_to_metrics_off() {
+    let plain = fib_prog();
+    let metered = plain.with_metrics(MetricsConfig::default());
+    let a = plain.run_sim_preset(8, MachinePreset::NcubeLike);
+    let b = metered.run_sim_preset(8, MachinePreset::NcubeLike);
+    assert_eq!(a.time_ns, b.time_ns);
+    let (sa, sb) = (a.sim.as_ref().unwrap(), b.sim.as_ref().unwrap());
+    assert_eq!(sa.events, sb.events);
+    assert_eq!(sa.packets, sb.packets);
+    assert_eq!(sa.bytes, sb.bytes);
+    for name in ["user_sent", "user_recv", "entries_executed", "seeds_forwarded"] {
+        assert_eq!(a.counter_total(name), b.counter_total(name), "{name}");
+    }
+    assert!(a.metrics.is_none());
+    assert!(b.metrics.is_some());
+}
+
+/// A fixed configuration replays to the identical metrics snapshot —
+/// slices, histograms, watermarks and flight recorder all match.
+#[test]
+fn metered_run_replays_identically() {
+    let prog = nqueens::build_default(nqueens::QueensParams { n: 8, grain: 4 })
+        .with_metrics(MetricsConfig::default());
+    let a = prog.run_sim_preset(8, MachinePreset::NcubeLike);
+    let b = prog.run_sim_preset(8, MachinePreset::NcubeLike);
+    assert_eq!(a.metrics.as_ref().unwrap(), b.metrics.as_ref().unwrap());
+}
+
+/// The streaming aggregates agree with the kernel's own books: one
+/// grain sample per counted entry execution, per-slice seed totals
+/// matching the balance counters, and one latency sample per received
+/// envelope.
+#[test]
+fn metrics_agree_with_kernel_counters() {
+    let rep = fib_prog()
+        .with_metrics(MetricsConfig::default())
+        .run_sim_preset(8, MachinePreset::NcubeLike);
+    let log = rep.metrics.as_ref().unwrap();
+    assert_eq!(log.grain_all().count, rep.counter_total("entries_executed"));
+    let mut kept = 0u64;
+    let mut fwd = 0u64;
+    let mut recv = 0u64;
+    for pe in &log.per_pe {
+        for s in &pe.slices {
+            kept += s.seeds_kept;
+            fwd += s.seeds_forwarded;
+            recv += s.msgs_recv;
+        }
+    }
+    assert_eq!(kept, rep.counter_total("seeds_kept"));
+    assert_eq!(fwd, rep.counter_total("seeds_forwarded"));
+    // One latency sample per received envelope — the histogram and the
+    // slice counters watch the same hook.
+    assert_eq!(log.latency_all().count, recv);
+    assert!(recv > 0);
+    assert!(log.queue_hwm_max() > 0, "fib must queue work somewhere");
+}
+
+/// Busy time never exceeds the time that existed: every slice's
+/// work+dispatch+control fits its interval, and the whole run's busy
+/// total fits PEs × end time.
+#[test]
+fn slice_busy_time_is_bounded_by_the_interval() {
+    let rep = fib_prog()
+        .with_metrics(MetricsConfig::default())
+        .run_sim_preset(8, MachinePreset::NcubeLike);
+    let log = rep.metrics.as_ref().unwrap();
+    assert!(log.nslices() > 1, "default width must resolve this run");
+    let mut total_busy = 0u64;
+    for pe in &log.per_pe {
+        for (i, s) in pe.slices.iter().enumerate() {
+            assert!(
+                s.busy_ns() <= log.slice_ns,
+                "PE {} slice {i}: busy {} > width {}",
+                pe.pe.index(),
+                s.busy_ns(),
+                log.slice_ns
+            );
+            total_busy += s.busy_ns();
+        }
+    }
+    assert!(total_busy > 0);
+    assert!(total_busy <= log.end_ns * log.npes as u64);
+}
+
+/// A deliberately tiny flight ring overflows gracefully: newest events
+/// kept, drop count says how many were overwritten, run untouched.
+#[test]
+fn tiny_flight_ring_drops_oldest_but_never_perturbs() {
+    let plain = fib_prog();
+    let tiny = plain.with_metrics(MetricsConfig {
+        flight_cap: 8,
+        ..MetricsConfig::default()
+    });
+    let a = plain.run_sim_preset(8, MachinePreset::NcubeLike);
+    let b = tiny.run_sim_preset(8, MachinePreset::NcubeLike);
+    assert_eq!(a.time_ns, b.time_ns, "overflow must not change the run");
+    let log = b.metrics.as_ref().unwrap();
+    assert!(log.flight_dropped() > 0, "8-slot rings must overflow on fib");
+    for pe in &log.per_pe {
+        assert!(pe.flight.len() <= 8);
+        // What survives is each PE's newest tail, in time order.
+        for w in pe.flight.windows(2) {
+            assert!(w[0].at_ns <= w[1].at_ns);
+        }
+    }
+    // The machine-wide tail is globally time-ordered.
+    let tail = log.flight_tail(20);
+    assert!(!tail.is_empty());
+    for w in tail.windows(2) {
+        assert!(w[0].at_ns <= w[1].at_ns);
+    }
+}
+
+/// A run long enough to overflow the slice budget coarsens (doubles
+/// width) instead of growing: the drained log stays within budget and
+/// still covers the whole run.
+#[test]
+fn slice_budget_coarsens_instead_of_growing() {
+    let prog = fib_prog().with_metrics(MetricsConfig {
+        slice_ns: 64, // absurdly fine: forces repeated doubling
+        max_slices: 16,
+        ..MetricsConfig::default()
+    });
+    let rep = prog.run_sim_preset(8, MachinePreset::NcubeLike);
+    let log = rep.metrics.as_ref().unwrap();
+    assert!(log.slice_ns > 64, "width must have doubled");
+    assert_eq!(log.slice_ns % 64, 0, "width stays a power-of-two multiple");
+    assert!(log.nslices() <= 16 + 1);
+    // Coverage: the last slice must reach the end of the run.
+    assert!(log.nslices() as u64 * log.slice_ns >= log.end_ns);
+}

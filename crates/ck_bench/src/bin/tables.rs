@@ -10,6 +10,9 @@
 //! cargo run --release -p ck_bench --bin tables -- --export-trace fib --out fib.json
 //! cargo run --release -p ck_bench --bin tables -- --all --jobs 4
 //! cargo run --release -p ck_bench --bin tables -- --host-perf --bench-out BENCH_5.json
+//! cargo run --release -p ck_bench --bin tables -- --table m --quick
+//! cargo run --release -p ck_bench --bin tables -- --timeline fib --quick --out fib_tl.json
+//! cargo run --release -p ck_bench --bin tables -- --metrics-perf --quick
 //! ```
 
 use std::io::Write as _;
@@ -20,22 +23,29 @@ use ck_bench::{Scale, Table};
 const TABLE_R: u32 = 100;
 /// Internal id for `--table p`.
 const TABLE_P: u32 = 101;
+/// Internal id for `--table m`.
+const TABLE_M: u32 = 102;
 
 fn usage() -> ! {
     eprintln!(
         "usage: tables [--all | --table N | --fig N | --matrix APP | --export-trace APP]\n\
-         \x20              [--quick] [--csv | --md] [--out PATH]\n\
+         \x20              [--timeline APP] [--quick] [--csv | --md] [--out PATH]\n\
          \x20              [--jobs N | --serial] [--no-cache]\n\
-         \x20              [--host-perf [--bench-out PATH]]\n\
-         tables: 1..=8, r (resilience), p (overhead attribution)   figures: 1..=8\n\
+         \x20              [--host-perf [--bench-out PATH]] [--metrics-perf]\n\
+         tables: 1..=8, r (resilience), p (overhead attribution),\n\
+         \x20        m (streaming time profiles)   figures: 1..=8\n\
          --matrix APP        PExPE message matrix for one benchmark (e.g. fib)\n\
          --export-trace APP  Chrome trace-event JSON for one benchmark\n\
          \x20                  (open at https://ui.perfetto.dev); --out writes to a file\n\
+         --timeline APP      streaming-metrics utilization timeline for one benchmark;\n\
+         \x20                  ASCII to stdout, JSON to --out if given\n\
          --jobs N            regenerate tables on N worker threads (default: host CPUs);\n\
          \x20                  output is byte-identical to --serial\n\
          --no-cache          disable the deterministic run memo (slower, same bytes)\n\
          --host-perf         run --all, report per-table host cost, and write a\n\
-         \x20                  BENCH JSON baseline (default BENCH_5.json)"
+         \x20                  BENCH JSON baseline (default BENCH_5.json)\n\
+         --metrics-perf      A/B metrics-on vs -off (asserts byte-identical results),\n\
+         \x20                  measure overhead and write BENCH_7.json (--bench-out overrides)"
     );
     std::process::exit(2);
 }
@@ -48,12 +58,14 @@ fn main() {
     let mut which: Vec<(bool, u32)> = Vec::new(); // (is_table, id)
     let mut matrices: Vec<String> = Vec::new();
     let mut exports: Vec<String> = Vec::new();
+    let mut timelines: Vec<String> = Vec::new();
     let mut out: Option<String> = None;
     let mut all = false;
     let mut jobs: Option<usize> = None;
     let mut cache = true;
     let mut host_perf = false;
-    let mut bench_out = String::from("BENCH_5.json");
+    let mut metrics_perf = false;
+    let mut bench_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -75,9 +87,10 @@ fn main() {
                 host_perf = true;
                 all = true;
             }
+            "--metrics-perf" => metrics_perf = true,
             "--bench-out" => {
                 i += 1;
-                bench_out = args.get(i).cloned().unwrap_or_else(|| usage());
+                bench_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "--table" | "--fig" => {
                 let is_table = args[i] == "--table";
@@ -85,6 +98,7 @@ fn main() {
                 let id = match args.get(i).map(String::as_str) {
                     Some("r") | Some("R") if is_table => TABLE_R,
                     Some("p") | Some("P") if is_table => TABLE_P,
+                    Some("m") | Some("M") if is_table => TABLE_M,
                     Some(a) => a.parse().unwrap_or_else(|_| usage()),
                     None => usage(),
                 };
@@ -93,6 +107,10 @@ fn main() {
             "--matrix" => {
                 i += 1;
                 matrices.push(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--timeline" => {
+                i += 1;
+                timelines.push(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "--export-trace" => {
                 i += 1;
@@ -106,7 +124,13 @@ fn main() {
         }
         i += 1;
     }
-    if !all && which.is_empty() && matrices.is_empty() && exports.is_empty() {
+    if !all
+        && which.is_empty()
+        && matrices.is_empty()
+        && exports.is_empty()
+        && timelines.is_empty()
+        && !metrics_perf
+    {
         all = true;
     }
 
@@ -122,6 +146,7 @@ fn main() {
             (true, 8) => ck_bench::table8(scale),
             (true, TABLE_R) => ck_bench::table_r(scale),
             (true, TABLE_P) => ck_bench::table_p(scale),
+            (true, TABLE_M) => ck_bench::table_m(scale),
             (false, 1) => ck_bench::fig1(scale),
             (false, 2) => ck_bench::fig2(scale),
             (false, 3) => ck_bench::fig3(scale),
@@ -168,14 +193,50 @@ fn main() {
             ck_bench::driver::bench_json(scale, jobs, cache, total_wall_ns, &records, stats);
         ck_trace::json_lint::validate(&json)
             .unwrap_or_else(|e| panic!("generated bench JSON failed lint: {e}"));
-        std::fs::write(&bench_out, &json)
-            .unwrap_or_else(|e| panic!("cannot write {bench_out}: {e}"));
+        let path = bench_out.clone().unwrap_or_else(|| "BENCH_5.json".into());
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!(
-            "host-perf: {:.1} ms wall on {jobs} job thread(s); {} runs simulated, {} memoized; wrote {bench_out}",
+            "host-perf: {:.1} ms wall on {jobs} job thread(s); {} runs simulated, {} memoized; wrote {path}",
             total_wall_ns as f64 / 1e6,
             stats.misses,
             stats.hits,
         );
+    }
+
+    if metrics_perf {
+        let reps = match scale {
+            Scale::Quick => 3,
+            Scale::Full => 5,
+        };
+        let rows = ck_bench::metrics_ab(scale, reps);
+        let json = ck_bench::metrics_bench_json(scale, reps, &rows);
+        ck_trace::json_lint::validate(&json)
+            .unwrap_or_else(|e| panic!("generated metrics bench JSON failed lint: {e}"));
+        let path = bench_out.clone().unwrap_or_else(|| "BENCH_7.json".into());
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        for r in &rows {
+            eprintln!(
+                "metrics-perf: {} threads {:.2} -> {:.2} ms ({:+.1}%), \
+                 sim {:.2} -> {:.2} ms ({:+.1}%); results byte-identical",
+                r.name,
+                r.thr_off_ns as f64 / 1e6,
+                r.thr_on_ns as f64 / 1e6,
+                r.overhead() * 100.0,
+                r.off_ns as f64 / 1e6,
+                r.on_ns as f64 / 1e6,
+                r.sim_overhead() * 100.0,
+            );
+        }
+        eprintln!("metrics-perf: wrote {path}");
+    }
+
+    for app in &timelines {
+        let (text, json) = ck_bench::timeline_view(scale, app);
+        print!("{text}");
+        if let Some(path) = &out {
+            std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("wrote {} bytes of timeline JSON to {path}", json.len());
+        }
     }
 
     for app in &exports {

@@ -41,13 +41,14 @@ pub fn table_jobs() -> Vec<TableJob> {
         ("fig8", experiments::fig8),
         ("table_r", experiments::table_r),
         ("table_p", crate::trace_view::table_p),
+        ("table_m", crate::metrics_view::table_m),
     ]
 }
 
 /// Host-side cost of regenerating one table.
 #[derive(Clone, Copy, Debug)]
 pub struct BenchRecord {
-    /// Job name (`table1` … `table_p`).
+    /// Job name (`table1` … `table_m`).
     pub name: &'static str,
     /// Wall-clock nanoseconds spent in the job.
     pub wall_ns: u64,
@@ -213,11 +214,12 @@ mod tests {
     #[test]
     fn jobs_cover_all_in_order() {
         let names: Vec<&str> = table_jobs().iter().map(|(n, _)| *n).collect();
-        assert_eq!(names.len(), 18);
+        assert_eq!(names.len(), 19);
         assert_eq!(names[0], "table1");
         assert_eq!(names[8], "fig1");
         assert_eq!(names[16], "table_r");
         assert_eq!(names[17], "table_p");
+        assert_eq!(names[18], "table_m");
     }
 
     #[test]

@@ -623,20 +623,13 @@ pub fn fig3(scale: Scale) -> Table {
             .with_sampling(Cost::millis(1));
         let rep = prog.run_sim(cfg);
         let sim = rep.sim.as_ref().expect("sim detail");
-        for (time, backlog) in sim
-            .samples
-            .iter()
-            .take(12)
-        {
-            let max = backlog.iter().copied().max().unwrap_or(0);
-            let mean = backlog.iter().sum::<usize>() as f64 / backlog.len() as f64;
-            let idle = backlog.iter().filter(|&&b| b == 0).count();
+        for s in sim.samples.iter().take(12) {
             t.row(vec![
                 strat.name().into(),
-                format!("{:.1}", time.as_nanos() as f64 / 1e6),
-                max.to_string(),
-                format!("{mean:.1}"),
-                idle.to_string(),
+                format!("{:.1}", s.at_ns as f64 / 1e6),
+                s.max.to_string(),
+                format!("{:.1}", s.mean()),
+                s.idle.to_string(),
             ]);
         }
     }

@@ -11,11 +11,13 @@
 
 pub mod driver;
 pub mod experiments;
+pub mod metrics_view;
 pub mod runner;
 pub mod table;
 pub mod trace_view;
 
 pub use driver::{run_all, table_jobs, BenchRecord};
 pub use experiments::*;
+pub use metrics_view::{metrics_ab, metrics_bench_json, table_m, timeline_view, GrainClass, MetricsAb};
 pub use table::Table;
 pub use trace_view::{comm_matrix_table, export_trace, table_p};

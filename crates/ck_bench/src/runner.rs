@@ -103,6 +103,23 @@ pub fn scenario_label(
     )
 }
 
+/// Attach streaming metrics to every memoized run when
+/// `CK_TABLES_METRICS=1` is set. Metrics are passive and
+/// byte-identical-off, so this cannot change a table byte — which is
+/// exactly what CI uses it for: `tables --all` output is diffed with
+/// the variable set against a run without it.
+fn with_forced_metrics(prog: Program) -> Program {
+    static FORCED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    let forced = *FORCED.get_or_init(|| {
+        std::env::var("CK_TABLES_METRICS").map(|v| v == "1").unwrap_or(false)
+    });
+    if forced {
+        prog.with_metrics(chare_kernel::metrics::MetricsConfig::default())
+    } else {
+        prog
+    }
+}
+
 /// Run `build()` on the simulator at `npes` PEs under `preset`, or
 /// return the memoized report for the same `(label, npes, preset)`.
 /// The program is only built on a miss.
@@ -120,7 +137,7 @@ pub fn run_preset(
         }
     }
     MISSES.with(|c| c.set(c.get() + 1));
-    let rep = Rc::new(build().run_sim_preset(npes, preset));
+    let rep = Rc::new(with_forced_metrics(build()).run_sim_preset(npes, preset));
     if caching() {
         CACHE.with(|c| c.borrow_mut().insert(key, rep.clone()));
     }

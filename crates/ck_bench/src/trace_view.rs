@@ -60,8 +60,12 @@ pub fn table_p(scale: Scale) -> Table {
             "events",
         ],
     );
+    let mut truncated: Vec<String> = Vec::new();
     for case in standard_suite(scale) {
         let (_, run) = traced_run(&case);
+        if let Some(warn) = run.truncation_warning() {
+            truncated.push(format!("{}: {warn}", case.name));
+        }
         let (work, dispatch, control, idle) = run.attribution().fractions();
         let grain = run.grain_histogram();
         let cp = run.critical_path();
@@ -80,6 +84,12 @@ pub fn table_p(scale: Scale) -> Table {
     t.note("work/dispatch/control/idle split the full P x T(P) PE-time; rows sum to 100%");
     t.note("cp bound = max(total work / P, longest entry); cp eff = bound / T(P), 1.00 is optimal");
     t.note("events = kernel trace records captured (sends, recvs, entries, balance decisions)");
+    // An overflowed trace ring silently undercounts event-derived
+    // columns; say so in the table itself rather than in a log no one
+    // reads.
+    for warn in truncated {
+        t.note(warn);
+    }
     t
 }
 
@@ -112,11 +122,14 @@ pub fn comm_matrix_table(scale: Scale, name: &str) -> Table {
 }
 
 /// Chrome trace-event JSON for one benchmark (load at ui.perfetto.dev).
+/// The export lint rejects a silently-truncated timeline: if the trace
+/// ring overflowed, the document must say so.
 pub fn export_trace(scale: Scale, name: &str) -> String {
     let case = case_named(scale, name);
     let (_, run) = traced_run(&case);
     let json = run.to_chrome_trace();
-    debug_assert!(ck_trace::json_lint::validate(&json).is_ok());
+    ck_trace::json_lint::validate_export(&json, run.dropped)
+        .unwrap_or_else(|e| panic!("trace export for {name} failed lint: {e}"));
     json
 }
 

@@ -121,6 +121,7 @@ fn report_failure(rec: &RunRecord, do_minimize: bool, max_events: u64) -> Vec<St
         lines.push(format!("  violation: {v}"));
     }
     lines.push(format!("  repro: {}", rec.repro()));
+    lines.extend(rec.forensics.iter().cloned());
     if do_minimize {
         let min = minimize::minimize(&rec.scenario, &rec.storm, max_events);
         lines.push(format!(
@@ -189,6 +190,9 @@ fn run_corpus(dir: &str, max_events: u64) -> ExitCode {
                         eprintln!("  violation: {v}");
                     }
                     eprintln!("  repro: {}", rec.repro());
+                    for l in &rec.forensics {
+                        eprintln!("{l}");
+                    }
                     failed += 1;
                 }
             }

@@ -59,6 +59,9 @@ pub struct RunRecord {
     pub gate_active: bool,
     /// Simulator events consumed.
     pub events: u64,
+    /// Forensics lines (flight-recorder tail + metrics snapshot),
+    /// captured only when the run failed — passing runs stay light.
+    pub forensics: Vec<String>,
 }
 
 impl RunRecord {
@@ -86,6 +89,11 @@ pub fn execute(index: u64, scenario: Scenario, storm: FaultPlan, max_events: u64
     let rep = scenario.run(&storm, max_events);
     let violations = oracle::judge(&scenario, &rep, reference);
     let sim = rep.sim.as_ref().expect("desim runs on the simulator");
+    let forensics = if violations.is_empty() {
+        Vec::new()
+    } else {
+        crate::forensics::render(&rep)
+    };
     RunRecord {
         index,
         reference,
@@ -93,6 +101,7 @@ pub fn execute(index: u64, scenario: Scenario, storm: FaultPlan, max_events: u64
         qd_used: rep.counter_total("qd_declares") > 0,
         gate_active: oracle::ledger_gate_active(&rep),
         events: sim.events,
+        forensics,
         scenario,
         storm,
     }

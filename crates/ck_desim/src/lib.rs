@@ -31,6 +31,7 @@
 
 pub mod campaign;
 pub mod corpus;
+pub mod forensics;
 pub mod minimize;
 pub mod oracle;
 pub mod scenario;

@@ -487,6 +487,11 @@ impl Scenario {
         if let Some(knobs) = self.rel {
             prog = prog.with_reliable(knobs.to_config());
         }
+        // Streaming metrics ride along on every campaign run: bounded
+        // memory, zero perturbation (the simulation is byte-identical
+        // with them off), and on failure the flight recorder and final
+        // snapshot become the forensics attached to the repro report.
+        let prog = prog.with_metrics(MetricsConfig::default());
         let cfg = SimConfig::preset(self.npes, self.preset)
             .with_faults(storm.clone())
             .with_max_events(max_events);

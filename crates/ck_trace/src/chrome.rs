@@ -126,7 +126,14 @@ pub fn export(trace: &RunTrace) -> String {
         }
     }
 
-    out.push_str("]}");
+    out.push(']');
+    // Overflowed ring: mark the export as truncated so consumers (and
+    // `json_lint::validate_export`) can tell it apart from a complete
+    // timeline.
+    if trace.dropped > 0 {
+        out.push_str(&format!(",\"dropped\":{}", trace.dropped));
+    }
+    out.push('}');
     out
 }
 

@@ -7,6 +7,22 @@
 //! documents and reports the byte offset of the first error. It builds
 //! no value tree; validation only.
 
+/// Check a trace export for well-formedness *and* honesty about loss:
+/// when the source ring dropped events (`dropped > 0`), the document
+/// must carry a `"dropped"` marker so downstream consumers can tell a
+/// truncated timeline from a complete one. A silently-truncated export
+/// fails the lint even though it parses.
+pub fn validate_export(input: &str, dropped: u64) -> Result<(), String> {
+    validate(input)?;
+    if dropped > 0 && !input.contains("\"dropped\"") {
+        return Err(format!(
+            "export silently truncated: {dropped} events were dropped but the \
+             document carries no \"dropped\" marker"
+        ));
+    }
+    Ok(())
+}
+
 /// Check that `input` is one well-formed JSON document.
 pub fn validate(input: &str) -> Result<(), String> {
     let mut p = Parser {
@@ -208,6 +224,20 @@ mod tests {
         ] {
             validate(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
         }
+    }
+
+    #[test]
+    fn export_lint_requires_truncation_marker() {
+        use super::validate_export;
+        // No loss: any valid document passes.
+        validate_export("{\"traceEvents\":[]}", 0).unwrap();
+        // Loss without a marker is a lint failure even though it parses.
+        let err = validate_export("{\"traceEvents\":[]}", 5).unwrap_err();
+        assert!(err.contains("silently truncated"), "{err}");
+        // Loss with the marker passes.
+        validate_export("{\"traceEvents\":[],\"dropped\":5}", 5).unwrap();
+        // Malformed documents still fail on syntax first.
+        assert!(validate_export("{", 0).is_err());
     }
 
     #[test]

@@ -30,8 +30,11 @@ use chare_kernel::CkReport;
 use multicomputer::{CostModel, StepKind, TraceSpan};
 
 pub mod json_lint;
+pub mod timeline;
 
 mod chrome;
+
+pub use timeline::{IntervalRow, TimeProfile};
 
 /// Everything the analyzer needs from one finished run: the kernel event
 /// log joined with the simulator's execution-span timeline.
@@ -392,6 +395,22 @@ impl RunTrace {
     pub fn to_chrome_trace(&self) -> String {
         chrome::export(self)
     }
+
+    /// A warning line when the trace ring overflowed and this analysis
+    /// is therefore based on an incomplete event log, or `None` if every
+    /// event was retained. Views that print attribution or profiles
+    /// must surface this — a silently-truncated analysis reads as
+    /// authoritative when it is not.
+    pub fn truncation_warning(&self) -> Option<String> {
+        if self.dropped == 0 {
+            return None;
+        }
+        Some(format!(
+            "WARNING: trace ring overflowed; {} events dropped — event-derived \
+             views (entries, comm matrix) undercount; raise TraceConfig::capacity",
+            self.dropped
+        ))
+    }
 }
 
 /// Human label for one entry execution.
@@ -590,6 +609,25 @@ mod tests {
         assert_eq!(cp.lower_bound_ns, 1025); // ceil(2050/2) > 1000
         assert!(cp.lower_bound_ns <= cp.end_ns);
         assert!(cp.efficiency() > 0.0 && cp.efficiency() <= 1.0);
+    }
+
+    #[test]
+    fn truncation_warning_appears_only_on_loss() {
+        assert!(synthetic().truncation_warning().is_none());
+        let t = RunTrace {
+            dropped: 42,
+            ..synthetic()
+        };
+        let warn = t.truncation_warning().unwrap();
+        assert!(warn.contains("42 events dropped"), "{warn}");
+        // The export must carry the marker and pass the export lint.
+        let json = t.to_chrome_trace();
+        json_lint::validate_export(&json, t.dropped).unwrap();
+        assert!(json.contains("\"dropped\":42"));
+        // And a lossless export stays marker-free.
+        let clean = synthetic().to_chrome_trace();
+        json_lint::validate_export(&clean, 0).unwrap();
+        assert!(!clean.contains("\"dropped\""));
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub use program::{
     FnFactory, NetCtx, NodeFactory, NodeProgram, Packet, Payload, Replayable, StepKind,
 };
 pub use sim::{take_events_tally, AbortReason, SimConfig, SimMachine, SimReport};
-pub use stats::{imbalance, NodeStats, StatSummary};
+pub use stats::{imbalance, BacklogSummary, NodeStats, StatSummary};
 #[cfg(feature = "threads")]
 pub use thread::{ThreadConfig, ThreadMachine, ThreadReport};
 pub use time::{Cost, SimTime};

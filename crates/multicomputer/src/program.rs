@@ -75,6 +75,13 @@ pub struct Packet {
     /// arrival instant distinct from delivery). Feeds receive-side
     /// tracing; carries no protocol meaning.
     pub at_ns: u64,
+    /// Send timestamp in nanoseconds: when the sending handler handed
+    /// the packet to the network. `at_ns - sent_ns` is the end-to-end
+    /// delivery latency (including NIC/link queueing); zero on the
+    /// thread backend, where send and delivery share a clock reading.
+    /// Host-side metadata for metrics, like `at_ns`; carries no
+    /// protocol meaning.
+    pub sent_ns: u64,
     /// The message body.
     pub payload: Payload,
 }
@@ -113,6 +120,15 @@ pub trait NetCtx {
     /// Charge simulated compute time to the currently executing handler.
     /// No-op on the thread backend, where real work takes real time.
     fn charge(&mut self, cost: Cost);
+
+    /// Simulated nanoseconds charged so far by the currently executing
+    /// handler. The simulator's clock does not advance *during* a
+    /// handler, so online metrics read work done within one handler
+    /// from the delta of this value. Backends without charge
+    /// accounting (threads) return 0.
+    fn charged_ns(&self) -> u64 {
+        0
+    }
 
     /// Request machine shutdown (the Chare Kernel's `CkExit`). In-flight
     /// and queued messages may be discarded.
@@ -222,6 +238,7 @@ mod tests {
             from: Pe(1),
             bytes: 64,
             at_ns: 0,
+            sent_ns: 0,
             payload: Box::new(42u32),
         };
         let s = format!("{p:?}");

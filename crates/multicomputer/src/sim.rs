@@ -37,7 +37,7 @@ use crate::fault::{FaultPlan, FaultState, FaultStats, LinkVerdict};
 use crate::pe::Pe;
 use crate::program::{NetCtx, NodeFactory, NodeProgram, Packet, Payload, Replayable, StepKind};
 use crate::trace::TraceSpan;
-use crate::stats::NodeStats;
+use crate::stats::{BacklogSummary, NodeStats};
 use crate::time::{Cost, SimTime};
 use crate::topology::Topology;
 
@@ -157,8 +157,9 @@ pub struct SimReport {
     /// True if the run ended by global quiescence rather than an explicit
     /// `stop`.
     pub quiesced: bool,
-    /// Backlog samples `(time, per-PE backlog)` if sampling was enabled.
-    pub samples: Vec<(SimTime, Vec<usize>)>,
+    /// Backlog samples (streaming per-instant aggregates) if sampling
+    /// was enabled. O(samples) memory regardless of machine size.
+    pub samples: Vec<BacklogSummary>,
     /// Execution spans, if tracing was enabled.
     pub timeline: Vec<TraceSpan>,
     /// Set if the run was cut short by a safety valve rather than ending
@@ -277,6 +278,9 @@ impl NetCtx for SimCtx {
     fn charge(&mut self, cost: Cost) {
         self.charged += cost;
     }
+    fn charged_ns(&self) -> u64 {
+        self.charged.as_nanos()
+    }
     fn stop(&mut self) {
         self.stop = true;
     }
@@ -320,10 +324,9 @@ pub struct SimMachine<N: NodeProgram> {
     events: u64,
     result: Option<Payload>,
     stopped: bool,
-    /// Backlog samples, stored flat (`npes` entries per sample) and
-    /// reassembled into per-sample vectors only once, at report time.
-    sample_times: Vec<SimTime>,
-    sample_flat: Vec<usize>,
+    /// Backlog samples, folded online into per-instant aggregates —
+    /// never a per-PE vector, so memory is O(samples) at any scale.
+    samples: Vec<BacklogSummary>,
     timeline: Vec<TraceSpan>,
     fault: Option<FaultState>,
     aborted: Option<AbortReason>,
@@ -357,8 +360,7 @@ impl<N: NodeProgram> SimMachine<N> {
             events: 0,
             result: None,
             stopped: false,
-            sample_times: Vec::new(),
-            sample_flat: Vec::new(),
+            samples: Vec::new(),
             timeline: Vec::new(),
         }
     }
@@ -471,6 +473,7 @@ impl<N: NodeProgram> SimMachine<N> {
                             from,
                             bytes,
                             at_ns: again.as_nanos(),
+                            sent_ns: ready.as_nanos(),
                             payload: Box::new(Replayable(copy)),
                         },
                     },
@@ -487,6 +490,7 @@ impl<N: NodeProgram> SimMachine<N> {
                     from,
                     bytes,
                     at_ns: arrive.as_nanos(),
+                    sent_ns: ready.as_nanos(),
                     payload,
                 },
             },
@@ -555,6 +559,7 @@ impl<N: NodeProgram> SimMachine<N> {
                         from: pkt.from,
                         bytes: pkt.bytes,
                         at_ns: pkt.at_ns,
+                        sent_ns: pkt.sent_ns,
                         payload: Replayable::materialize(pkt.payload),
                     };
                     self.nodes[to.index()].incoming(pkt);
@@ -661,13 +666,14 @@ impl<N: NodeProgram> SimMachine<N> {
                     }
                 }
                 EventKind::Sample => {
-                    if self.sample_times.is_empty() {
-                        self.sample_times.reserve(64);
-                        self.sample_flat.reserve(64 * self.cfg.npes);
+                    if self.samples.is_empty() {
+                        self.samples.reserve(64);
                     }
-                    self.sample_times.push(now);
-                    self.sample_flat
-                        .extend(self.nodes.iter().map(|n| n.backlog()));
+                    let mut s = BacklogSummary::at(now.as_nanos());
+                    for n in &self.nodes {
+                        s.push(n.backlog());
+                    }
+                    self.samples.push(s);
                     // Only keep sampling while there are other events —
                     // otherwise sampling alone would keep the sim alive.
                     if !self.heap.is_empty() || self.fast.is_some() {
@@ -684,13 +690,6 @@ impl<N: NodeProgram> SimMachine<N> {
             .copied()
             .fold(now, SimTime::max);
         EVENTS_TALLY.with(|c| c.set(c.get() + self.events));
-        let npes = self.cfg.npes;
-        let samples = self
-            .sample_times
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| (t, self.sample_flat[i * npes..(i + 1) * npes].to_vec()))
-            .collect();
         SimReport {
             end_time,
             result: self.result,
@@ -700,7 +699,7 @@ impl<N: NodeProgram> SimMachine<N> {
             bytes: self.bytes,
             events: self.events,
             quiesced: !self.stopped && self.aborted.is_none(),
-            samples,
+            samples: self.samples,
             timeline: self.timeline,
             aborted: self.aborted,
             faults: self.fault.map(|fs| fs.stats),
@@ -860,8 +859,10 @@ mod tests {
         let cfg = ring_cfg(4).with_sampling(Cost::micros(100));
         let rep = SimMachine::run_factory(cfg, &relay_factory(10, Cost::micros(20)));
         assert!(!rep.samples.is_empty());
-        for (_, backlog) in &rep.samples {
-            assert_eq!(backlog.len(), 4);
+        for s in &rep.samples {
+            assert_eq!(s.npes, 4);
+            assert!(s.max >= s.last);
+            assert!(s.idle <= s.npes);
         }
     }
 

@@ -66,6 +66,57 @@ pub fn summarize(nodes: &[NodeStats], name: &str) -> StatSummary {
     StatSummary { total, max, min }
 }
 
+/// One load-sampling instant, folded online.
+///
+/// The simulator used to retain a `Vec<usize>` of per-PE backlogs per
+/// sample — O(samples × PEs) memory that ROADMAP item 1 (4096-PE
+/// scale-up) cannot afford. This accumulator ingests the per-PE
+/// backlogs of one sampling instant as a stream and keeps only the
+/// aggregates the tables actually report: max, mean (via sum), idle-PE
+/// count, and the last value seen.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BacklogSummary {
+    /// Sample timestamp in nanoseconds.
+    pub at_ns: u64,
+    /// Number of PEs folded in.
+    pub npes: usize,
+    /// Largest per-PE backlog.
+    pub max: usize,
+    /// Sum of per-PE backlogs (mean = `total / npes`).
+    pub total: usize,
+    /// PEs with an empty backlog.
+    pub idle: usize,
+    /// Backlog of the last PE folded (PE npes-1 in sampling order).
+    pub last: usize,
+}
+
+impl BacklogSummary {
+    /// Start a summary for the sampling instant `at_ns`.
+    pub fn at(at_ns: u64) -> Self {
+        Self { at_ns, ..Self::default() }
+    }
+
+    /// Fold one PE's backlog in.
+    pub fn push(&mut self, backlog: usize) {
+        self.npes += 1;
+        self.total += backlog;
+        self.max = self.max.max(backlog);
+        if backlog == 0 {
+            self.idle += 1;
+        }
+        self.last = backlog;
+    }
+
+    /// Mean backlog per PE (0.0 when nothing was folded).
+    pub fn mean(&self) -> f64 {
+        if self.npes == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.npes as f64
+        }
+    }
+}
+
 /// Load imbalance of per-PE busy times: `max / mean`. 1.0 is perfectly
 /// balanced; the paper's load-balancing tables report exactly this ratio.
 /// Returns 1.0 for degenerate inputs (no PEs or an all-idle run).
@@ -113,6 +164,26 @@ mod tests {
     fn summarize_empty() {
         let s = summarize(&[], "msgs");
         assert_eq!(s, StatSummary { total: 0, max: 0, min: 0 });
+    }
+
+    #[test]
+    fn backlog_summary_matches_flat_aggregates() {
+        let flat = [3usize, 0, 7, 2];
+        let mut s = BacklogSummary::at(1_000);
+        for &b in &flat {
+            s.push(b);
+        }
+        assert_eq!(s.npes, 4);
+        assert_eq!(s.max, 7);
+        assert_eq!(s.total, 12);
+        assert_eq!(s.idle, 1);
+        assert_eq!(s.last, 2);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backlog_summary_empty_mean_is_zero() {
+        assert_eq!(BacklogSummary::at(5).mean(), 0.0);
     }
 
     #[test]

@@ -108,12 +108,15 @@ impl NetCtx for ThreadCtx {
     }
     fn send(&mut self, to: Pe, bytes: u32, payload: Payload) {
         assert!(to.index() < self.npes, "send to PE out of range");
+        let now = self.now_ns();
         let pkt = Packet {
             from: self.me,
             bytes,
             // No distinct arrival instant on real channels; stamp the
-            // send time (delivery follows almost immediately).
-            at_ns: self.now_ns(),
+            // send time (delivery follows almost immediately), so
+            // metrics see a zero send→deliver latency here.
+            at_ns: now,
+            sent_ns: now,
             payload,
         };
         // A send after shutdown has begun may find the receiver gone;
