@@ -63,6 +63,7 @@ pub mod msg;
 pub mod node;
 pub mod pool;
 pub mod priority;
+pub mod proc;
 pub mod program;
 pub mod queueing;
 pub mod quiescence;
@@ -71,6 +72,7 @@ pub mod reliable;
 pub mod shared;
 pub mod stats;
 pub mod trace;
+pub mod wire;
 
 pub use balance::BalanceStrategy;
 pub use bcast::BroadcastMode;
@@ -82,6 +84,7 @@ pub use ids::{Boc, BocId, ChareId, ChareKind, EpId, Kind, Notify, WoId};
 pub use metrics::{Histogram, MetricsConfig, MetricsLog, PeMetricSet, Slice};
 pub use msg::Message;
 pub use priority::{BitPrio, Priority};
+pub use proc::{maybe_worker, LossConfig, ProcAbortReason, ProcConfig, ProcDetail, ProcTransport};
 pub use program::{CkReport, Program, ProgramBuilder};
 pub use queueing::QueueingStrategy;
 pub use reliable::{ReliableConfig, ReliableConfigError};
@@ -90,6 +93,7 @@ pub use shared::{
     SumF64, SumU64, TableAck, TableGot, TableRef, WoReady,
 };
 pub use trace::{EntryWhat, EventKind, MsgClass, TraceConfig, TraceEvent, TraceLog};
+pub use wire::{Wire, WireReader};
 
 /// Everything a kernel program normally needs.
 pub mod prelude {
@@ -103,6 +107,9 @@ pub mod prelude {
     pub use crate::message;
     pub use crate::msg::Message;
     pub use crate::priority::{BitPrio, Priority};
+    pub use crate::proc::{
+        maybe_worker, LossConfig, ProcAbortReason, ProcConfig, ProcDetail, ProcTransport,
+    };
     pub use crate::program::{CkReport, Program, ProgramBuilder};
     pub use crate::queueing::QueueingStrategy;
     pub use crate::reliable::{ReliableConfig, ReliableConfigError};
@@ -112,6 +119,8 @@ pub mod prelude {
     };
     pub use crate::metrics::{MetricsConfig, MetricsLog};
     pub use crate::trace::{EventKind, TraceConfig, TraceLog};
+    pub use crate::wire::{Wire, WireReader};
+    pub use crate::wire_struct;
     pub use multicomputer::{Cost, FaultPlan, MachinePreset, Pe, SimConfig, Topology};
     #[cfg(feature = "threads")]
     pub use multicomputer::ThreadConfig;

@@ -58,7 +58,7 @@ use crate::trace::{EntryWhat, EventKind, MsgClass, RingLog, TraceEvent};
 
 /// Metrics knobs, handed to
 /// [`ProgramBuilder::metrics`](crate::program::ProgramBuilder::metrics).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MetricsConfig {
     /// Initial interval width in nanoseconds, rounded up to a power of
     /// two (bucket lookup is a shift on the recording hot path).
@@ -693,6 +693,156 @@ impl PeMetricSet {
             flight: Vec::new(),
             flight_dropped: 0,
         }
+    }
+}
+
+// ---- cross-process shard transport (procs backend) ---------------------
+//
+// Worker processes drain their own sink and ship the one populated
+// `PeMetricSet` to the parent, which re-buckets every shard to the
+// coarsest width and rebuilds a machine-wide `MetricsLog` — the same
+// exact (power-of-two widths nest) merge `drain` performs in-process.
+
+impl crate::wire::Wire for Histogram {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let nonzero: Vec<(u8, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (b as u8, c))
+            .collect();
+        nonzero.encode(out);
+        self.count.encode(out);
+        self.sum.encode(out);
+        self.max.encode(out);
+    }
+    fn decode(r: &mut crate::wire::WireReader) -> Self {
+        let nonzero = Vec::<(u8, u64)>::decode(r);
+        let mut h = Histogram::new();
+        for (b, c) in nonzero {
+            h.counts[b as usize] = c;
+        }
+        h.count = u64::decode(r);
+        h.sum = u64::decode(r);
+        h.max = u64::decode(r);
+        h
+    }
+}
+
+impl crate::wire::Wire for Slice {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.work_ns,
+            self.dispatch_ns,
+            self.ctl_ns,
+            self.msgs_sent,
+            self.msgs_recv,
+            self.bytes_sent,
+            self.bytes_recv,
+            self.seeds_kept,
+            self.seeds_forwarded,
+            self.retransmits,
+        ] {
+            v.encode(out);
+        }
+    }
+    fn decode(r: &mut crate::wire::WireReader) -> Self {
+        Slice {
+            work_ns: u64::decode(r),
+            dispatch_ns: u64::decode(r),
+            ctl_ns: u64::decode(r),
+            msgs_sent: u64::decode(r),
+            msgs_recv: u64::decode(r),
+            bytes_sent: u64::decode(r),
+            bytes_recv: u64::decode(r),
+            seeds_kept: u64::decode(r),
+            seeds_forwarded: u64::decode(r),
+            retransmits: u64::decode(r),
+        }
+    }
+}
+
+impl crate::wire::Wire for PeMetricSet {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.pe.encode(out);
+        self.slices.encode(out);
+        self.latency.encode(out);
+        self.grain.encode(out);
+        self.queue_hwm.encode(out);
+        self.flight.encode(out);
+        self.flight_dropped.encode(out);
+    }
+    fn decode(r: &mut crate::wire::WireReader) -> Self {
+        PeMetricSet {
+            pe: Pe::decode(r),
+            slices: Vec::<Slice>::decode(r),
+            latency: Histogram::decode(r),
+            grain: Histogram::decode(r),
+            queue_hwm: u64::decode(r),
+            flight: Vec::<TraceEvent>::decode(r),
+            flight_dropped: u64::decode(r),
+        }
+    }
+}
+
+/// Re-bucket a drained slice vector from width `from` to the coarser
+/// width `to` (both powers of two, so the merge is exact).
+fn rebucket_slices(slices: &[Slice], from: u64, to: u64) -> Vec<Slice> {
+    debug_assert!(to >= from && to.is_multiple_of(from));
+    let ratio = (to / from).max(1) as usize;
+    let n = slices.len().div_ceil(ratio);
+    let mut out = vec![Slice::default(); n];
+    for (i, s) in slices.iter().enumerate() {
+        out[i / ratio].merge(s);
+    }
+    out
+}
+
+/// Rebuild a machine-wide [`MetricsLog`] from per-worker shards
+/// (`(shard_slice_ns, set)` pairs, one per PE that reported), exactly as
+/// [`MetricsSink::drain`] would have: all shards re-bucketed to the
+/// coarsest common power-of-two width, the `max_slices` budget enforced
+/// over `[0, end_ns)`, and missing PEs padded with all-idle sets.
+pub(crate) fn merge_shards(
+    cfg: MetricsConfig,
+    npes: usize,
+    end_ns: u64,
+    shards: Vec<(u64, PeMetricSet)>,
+) -> MetricsLog {
+    let mut width = shards
+        .iter()
+        .map(|&(w, _)| w)
+        .max()
+        .unwrap_or(cfg.slice_ns)
+        .max(1)
+        .next_power_of_two();
+    let budget = cfg.max_slices.max(2) as u64;
+    while end_ns.div_ceil(width) > budget {
+        width *= 2;
+    }
+    let nslices = (end_ns.div_ceil(width) as usize).max(1);
+    let mut per_pe: Vec<PeMetricSet> = (0..npes)
+        .map(|i| {
+            let mut set = PeMetricSet::empty(Pe(i as u32));
+            set.slices = vec![Slice::default(); nslices];
+            set
+        })
+        .collect();
+    for (w, set) in shards {
+        let idx = set.pe.index();
+        if idx >= npes {
+            continue;
+        }
+        let mut slices = rebucket_slices(&set.slices, w.max(1).next_power_of_two(), width);
+        slices.resize(nslices, Slice::default());
+        per_pe[idx] = PeMetricSet { slices, ..set };
+    }
+    MetricsLog {
+        npes,
+        end_ns,
+        slice_ns: width,
+        per_pe,
     }
 }
 

@@ -1,0 +1,474 @@
+//! Socket plumbing for the multi-process backend.
+//!
+//! One small abstraction — [`Stream`] / [`Listener`] over Unix-domain
+//! and TCP sockets — plus length-prefixed framing and the control
+//! protocol ([`CtlMsg`]) spoken between parent and workers. Data-mesh
+//! frames use the same `[u32 len][body]` framing; their bodies are
+//! `[u64 sent_ns][u32 declared bytes][encoded SysMsg]` (see
+//! `docs/PROCESS.md` for the full wire contract).
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use crate::wire::{Wire, WireReader};
+
+/// Socket flavor for the multi-process backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcTransport {
+    /// Unix-domain sockets under a per-run temp directory (default).
+    Uds,
+    /// TCP over loopback (`127.0.0.1`, ephemeral ports).
+    Tcp,
+}
+
+/// A connected byte stream of either flavor.
+#[derive(Debug)]
+pub(crate) enum Stream {
+    Uds(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Connect to an address string of the form `uds:<path>` or
+    /// `tcp:<host:port>`.
+    pub(crate) fn connect(addr: &str) -> io::Result<Stream> {
+        if let Some(path) = addr.strip_prefix("uds:") {
+            Ok(Stream::Uds(UnixStream::connect(path)?))
+        } else if let Some(hostport) = addr.strip_prefix("tcp:") {
+            let s = TcpStream::connect(hostport)?;
+            s.set_nodelay(true)?;
+            Ok(Stream::Tcp(s))
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("bad transport address {addr:?}"),
+            ))
+        }
+    }
+
+    /// Connect with retries — a peer's listener is bound before its
+    /// address is published, but connect can still race process
+    /// scheduling right after spawn.
+    pub(crate) fn connect_retry(addr: &str, deadline: Instant) -> io::Result<Stream> {
+        loop {
+            match Stream::connect(addr) {
+                Ok(s) => return Ok(s),
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Clone the underlying descriptor (separate read/write halves).
+    pub(crate) fn try_clone(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Stream::Uds(s) => Stream::Uds(s.try_clone()?),
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+        })
+    }
+
+    pub(crate) fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Uds(s) => s.set_read_timeout(t),
+            Stream::Tcp(s) => s.set_read_timeout(t),
+        }
+    }
+
+    /// Hard-close both directions (crash-injection and teardown).
+    pub(crate) fn shutdown(&self) {
+        let _ = match self {
+            Stream::Uds(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Uds(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Uds(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Uds(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A listening socket of either flavor.
+pub(crate) enum Listener {
+    Uds(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Bind a listener; returns it plus its publishable address string.
+    /// UDS sockets live in `dir` under `name.sock`; TCP binds an
+    /// ephemeral loopback port (and ignores `dir`/`name`).
+    pub(crate) fn bind(
+        transport: ProcTransport,
+        dir: &Path,
+        name: &str,
+    ) -> io::Result<(Listener, String)> {
+        match transport {
+            ProcTransport::Uds => {
+                let path = dir.join(format!("{name}.sock"));
+                let l = UnixListener::bind(&path)?;
+                Ok((Listener::Uds(l), format!("uds:{}", path.display())))
+            }
+            ProcTransport::Tcp => {
+                let l = TcpListener::bind("127.0.0.1:0")?;
+                let addr = l.local_addr()?;
+                Ok((Listener::Tcp(l), format!("tcp:{addr}")))
+            }
+        }
+    }
+
+    /// Accept one connection, polling nonblockingly until `deadline`.
+    pub(crate) fn accept_deadline(&self, deadline: Instant) -> io::Result<Stream> {
+        match self {
+            Listener::Uds(l) => l.set_nonblocking(true)?,
+            Listener::Tcp(l) => l.set_nonblocking(true)?,
+        }
+        loop {
+            let got = match self {
+                Listener::Uds(l) => l.accept().map(|(s, _)| Stream::Uds(s)),
+                Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                    let _ = s.set_nodelay(true);
+                    Stream::Tcp(s)
+                }),
+            };
+            match got {
+                Ok(s) => {
+                    // Accepted sockets inherit nonblocking on some
+                    // platforms; force blocking mode for framed I/O.
+                    match &s {
+                        Stream::Uds(u) => u.set_nonblocking(false)?,
+                        Stream::Tcp(t) => t.set_nonblocking(false)?,
+                    }
+                    return Ok(s);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "accept deadline exceeded",
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Hard cap on a single frame — far above any real message, low enough
+/// that a corrupt length prefix fails fast instead of OOMing.
+const MAX_FRAME: usize = 256 * 1024 * 1024;
+
+/// Write one `[u32 len][body]` frame.
+pub(crate) fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)
+}
+
+/// Read one `[u32 len][body]` frame. `UnexpectedEof` at the length
+/// prefix is the clean-close signal.
+pub(crate) fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Control-protocol messages between parent and workers. The sequence
+/// per worker is `Hello → Go → Ready → Start → (run) → Stopped? → Halt
+/// → Final`; `Stopped` comes only from the worker whose node called
+/// `CkExit` (or quiesced), and `Final` carries the per-PE telemetry
+/// shards the parent merges.
+#[derive(Debug)]
+pub(crate) enum CtlMsg {
+    /// Worker → parent: identity, codec fingerprint, data-mesh address.
+    Hello {
+        rank: u32,
+        fingerprint: u64,
+        data_addr: String,
+    },
+    /// Parent → worker: every worker's data address, indexed by rank.
+    Go { peers: Vec<String> },
+    /// Worker → parent: data mesh wired, ready to start.
+    Ready,
+    /// Parent → worker: boot the node and run.
+    Start,
+    /// Worker → parent: my node stopped the machine; `result` is the
+    /// wire-encoded `exit` payload, if one was deposited here.
+    Stopped { result: Option<Vec<u8>> },
+    /// Parent → worker: stop scheduling and report.
+    Halt,
+    /// Worker → parent: final report. `metrics` is a wire-encoded
+    /// `(slice_ns, PeMetricSet)` shard, `trace` a wire-encoded
+    /// `(Vec<TraceEvent>, dropped)` slice.
+    Final {
+        end_ns: u64,
+        stats: Vec<(String, u64)>,
+        metrics: Option<Vec<u8>>,
+        trace: Option<Vec<u8>>,
+    },
+}
+
+impl CtlMsg {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            CtlMsg::Hello {
+                rank,
+                fingerprint,
+                data_addr,
+            } => {
+                out.push(0);
+                rank.encode(&mut out);
+                fingerprint.encode(&mut out);
+                data_addr.encode(&mut out);
+            }
+            CtlMsg::Go { peers } => {
+                out.push(1);
+                peers.encode(&mut out);
+            }
+            CtlMsg::Ready => out.push(2),
+            CtlMsg::Start => out.push(3),
+            CtlMsg::Stopped { result } => {
+                out.push(4);
+                result.encode(&mut out);
+            }
+            CtlMsg::Halt => out.push(5),
+            CtlMsg::Final {
+                end_ns,
+                stats,
+                metrics,
+                trace,
+            } => {
+                out.push(6);
+                end_ns.encode(&mut out);
+                stats.encode(&mut out);
+                metrics.encode(&mut out);
+                trace.encode(&mut out);
+            }
+        }
+        out
+    }
+
+    pub(crate) fn decode(body: &[u8]) -> Option<CtlMsg> {
+        if body.is_empty() {
+            return None;
+        }
+        let mut r = WireReader::new(&body[1..]);
+        let msg = match body[0] {
+            0 => CtlMsg::Hello {
+                rank: u32::decode(&mut r),
+                fingerprint: u64::decode(&mut r),
+                data_addr: String::decode(&mut r),
+            },
+            1 => CtlMsg::Go {
+                peers: Vec::<String>::decode(&mut r),
+            },
+            2 => CtlMsg::Ready,
+            3 => CtlMsg::Start,
+            4 => CtlMsg::Stopped {
+                result: Option::<Vec<u8>>::decode(&mut r),
+            },
+            5 => CtlMsg::Halt,
+            6 => CtlMsg::Final {
+                end_ns: u64::decode(&mut r),
+                stats: Vec::<(String, u64)>::decode(&mut r),
+                metrics: Option::<Vec<u8>>::decode(&mut r),
+                trace: Option::<Vec<u8>>::decode(&mut r),
+            },
+            _ => return None,
+        };
+        if r.remaining() != 0 {
+            return None;
+        }
+        Some(msg)
+    }
+}
+
+/// Send one control message (framed).
+pub(crate) fn send_ctl(w: &mut impl Write, msg: &CtlMsg) -> io::Result<()> {
+    write_frame(w, &msg.encode())
+}
+
+/// Receive one control message (framed); decode failure is an
+/// `InvalidData` error.
+pub(crate) fn recv_ctl(r: &mut impl Read) -> io::Result<CtlMsg> {
+    let body = read_frame(r)?;
+    CtlMsg::decode(&body)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed control message"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: CtlMsg) -> CtlMsg {
+        CtlMsg::decode(&msg.encode()).expect("decodes")
+    }
+
+    #[test]
+    fn ctl_messages_roundtrip() {
+        match roundtrip(CtlMsg::Hello {
+            rank: 3,
+            fingerprint: 0xDEAD_BEEF,
+            data_addr: "uds:/tmp/x.sock".into(),
+        }) {
+            CtlMsg::Hello {
+                rank,
+                fingerprint,
+                data_addr,
+            } => {
+                assert_eq!(rank, 3);
+                assert_eq!(fingerprint, 0xDEAD_BEEF);
+                assert_eq!(data_addr, "uds:/tmp/x.sock");
+            }
+            _ => panic!("wrong variant"),
+        }
+        match roundtrip(CtlMsg::Go {
+            peers: vec!["a".into(), "b".into()],
+        }) {
+            CtlMsg::Go { peers } => assert_eq!(peers, vec!["a", "b"]),
+            _ => panic!("wrong variant"),
+        }
+        assert!(matches!(roundtrip(CtlMsg::Ready), CtlMsg::Ready));
+        assert!(matches!(roundtrip(CtlMsg::Start), CtlMsg::Start));
+        assert!(matches!(roundtrip(CtlMsg::Halt), CtlMsg::Halt));
+        match roundtrip(CtlMsg::Stopped {
+            result: Some(vec![1, 2, 3]),
+        }) {
+            CtlMsg::Stopped { result } => assert_eq!(result, Some(vec![1, 2, 3])),
+            _ => panic!("wrong variant"),
+        }
+        match roundtrip(CtlMsg::Final {
+            end_ns: 99,
+            stats: vec![("user_sent".into(), 7)],
+            metrics: None,
+            trace: Some(vec![9]),
+        }) {
+            CtlMsg::Final {
+                end_ns,
+                stats,
+                metrics,
+                trace,
+            } => {
+                assert_eq!(end_ns, 99);
+                assert_eq!(stats, vec![("user_sent".to_string(), 7)]);
+                assert_eq!(metrics, None);
+                assert_eq!(trace, Some(vec![9]));
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn malformed_ctl_rejected() {
+        assert!(CtlMsg::decode(&[]).is_none());
+        assert!(CtlMsg::decode(&[42]).is_none());
+        // Trailing garbage is a protocol error, not silently ignored.
+        let mut bytes = CtlMsg::Ready.encode();
+        bytes.push(0);
+        assert!(CtlMsg::decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_socketpair() {
+        let (mut a, mut b) = UnixStream::pair().expect("socketpair");
+        write_frame(&mut a, b"hello mesh").unwrap();
+        write_frame(&mut a, b"").unwrap();
+        assert_eq!(read_frame(&mut b).unwrap(), b"hello mesh");
+        assert_eq!(read_frame(&mut b).unwrap(), b"");
+        drop(a);
+        assert_eq!(
+            read_frame(&mut b).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn uds_listener_binds_and_accepts() {
+        let dir = std::env::temp_dir().join(format!("ck-transport-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (l, addr) = Listener::bind(ProcTransport::Uds, &dir, "t").unwrap();
+        assert!(addr.starts_with("uds:"));
+        let addr2 = addr.clone();
+        let join = std::thread::spawn(move || {
+            let mut s = Stream::connect(&addr2).unwrap();
+            send_ctl(&mut s, &CtlMsg::Ready).unwrap();
+        });
+        let mut s = l
+            .accept_deadline(Instant::now() + Duration::from_secs(5))
+            .unwrap();
+        assert!(matches!(recv_ctl(&mut s).unwrap(), CtlMsg::Ready));
+        join.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tcp_listener_binds_and_accepts() {
+        let dir = std::env::temp_dir();
+        let (l, addr) = Listener::bind(ProcTransport::Tcp, &dir, "t").unwrap();
+        assert!(addr.starts_with("tcp:127.0.0.1:"));
+        let addr2 = addr.clone();
+        let join = std::thread::spawn(move || {
+            let mut s = Stream::connect_retry(&addr2, Instant::now() + Duration::from_secs(5))
+                .unwrap();
+            write_frame(&mut s, &[7; 3]).unwrap();
+        });
+        let mut s = l
+            .accept_deadline(Instant::now() + Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(read_frame(&mut s).unwrap(), vec![7; 3]);
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn accept_deadline_times_out() {
+        let dir = std::env::temp_dir().join(format!("ck-transport-to-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (l, _addr) = Listener::bind(ProcTransport::Uds, &dir, "t").unwrap();
+        let err = l
+            .accept_deadline(Instant::now() + Duration::from_millis(30))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_address_is_rejected() {
+        assert!(Stream::connect("carrier-pigeon:coop-7").is_err());
+    }
+}

@@ -203,6 +203,19 @@ impl ProgramBuilder {
         self
     }
 
+    /// Register a byte codec for a message-body type that may cross a
+    /// process boundary on the [`procs`](Program::run_procs) backend:
+    /// chare seeds, entry-method message types, accumulator/monotonic
+    /// values, table values, write-once values and `exit` results.
+    /// Harmless (a table entry) on the in-process backends. Idempotent;
+    /// registration order must match across parent and workers (it does
+    /// automatically when both build the program the same way — the
+    /// socket handshake verifies a fingerprint of the table).
+    pub fn wire<T: crate::wire::Wire + Send + Sync + 'static>(&mut self) -> &mut Self {
+        self.reg.wire.register::<T>();
+        self
+    }
+
     /// Finalize into an immutable, reusable [`Program`].
     pub fn build(self) -> Program {
         Program {
@@ -305,7 +318,57 @@ impl Program {
             .map(|cfg| MetricsSink::shared(npes, cfg, dispatch_ns, ctl_dispatch_ns))
     }
 
-    fn factory(
+    /// The program's registry (shared with every node built from it).
+    pub(crate) fn registry(&self) -> &Arc<Registry> {
+        &self.reg
+    }
+
+    /// Fingerprint of the wire-table registration sequence. The procs
+    /// backend compares the parent's against each worker's at handshake;
+    /// exposed so program builders can assert their spec round-trips.
+    pub fn wire_fingerprint(&self) -> u64 {
+        self.reg.wire.fingerprint()
+    }
+
+    /// The program's reliable-delivery config, if any.
+    pub(crate) fn reliable_cfg(&self) -> Option<ReliableConfig> {
+        self.reliable
+    }
+
+    /// The program's tracing config, if any.
+    pub(crate) fn tracing_cfg(&self) -> Option<TraceConfig> {
+        self.tracing
+    }
+
+    /// The program's metrics config, if any.
+    pub(crate) fn metrics_cfg(&self) -> Option<MetricsConfig> {
+        self.metrics
+    }
+
+    /// The program's placement-RNG seed.
+    pub(crate) fn rng_seed_val(&self) -> u64 {
+        self.rng_seed
+    }
+
+    /// Overwrite the run-level knobs a worker process receives from its
+    /// parent over the `CK_PROC_OPTS` contract, so `with_reliable` /
+    /// `with_tracing` / `with_metrics` / `rng_seed` applied to the
+    /// parent's program propagate across the process boundary without
+    /// the spec-builder having to re-derive them.
+    pub(crate) fn set_run_overrides(
+        &mut self,
+        rng_seed: u64,
+        reliable: Option<ReliableConfig>,
+        tracing: Option<TraceConfig>,
+        metrics: Option<MetricsConfig>,
+    ) {
+        self.rng_seed = rng_seed;
+        self.reliable = reliable;
+        self.tracing = tracing;
+        self.metrics = metrics;
+    }
+
+    pub(crate) fn factory(
         &self,
         topology: Topology,
         sink: Option<Arc<TraceSink>>,
@@ -358,6 +421,7 @@ impl Program {
                 samples: rep.samples,
                 timeline: rep.timeline,
             }),
+            proc: None,
         }
     }
 
@@ -390,7 +454,25 @@ impl Program {
             trace: sink.map(|s| s.drain()),
             metrics: msink.map(|s| s.drain(wall_ns)),
             sim: None,
+            proc: None,
         }
+    }
+
+    /// Run on the multi-process backend: one OS process per PE, wired
+    /// over Unix-domain (or TCP) sockets. The current binary is
+    /// re-invoked once per PE with the `CK_PE_RANK` env contract — the
+    /// re-invoked process must call
+    /// [`proc::maybe_worker`](crate::proc::maybe_worker) before its
+    /// first `run_procs` so it diverts into the worker loop. See
+    /// `docs/PROCESS.md` for the wire contract.
+    ///
+    /// # Panics
+    ///
+    /// If called from a worker process that failed to divert (a missing
+    /// `maybe_worker` call), or if `cfg` injects loss without the
+    /// program running reliable delivery.
+    pub fn run_procs(&self, cfg: &crate::proc::ProcConfig) -> CkReport {
+        crate::proc::run_parent(self, cfg)
     }
 }
 
@@ -483,6 +565,9 @@ pub struct CkReport {
     pub metrics: Option<MetricsLog>,
     /// Simulator-only detail.
     pub sim: Option<SimDetail>,
+    /// Multi-process backend only: launch/teardown detail, including a
+    /// structured abort reason when a worker died mid-run.
+    pub proc: Option<crate::proc::ProcDetail>,
 }
 
 impl CkReport {

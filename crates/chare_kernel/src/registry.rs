@@ -173,6 +173,10 @@ pub(crate) struct Registry {
     pub monos: Vec<MonoEntry>,
     pub tables: Vec<TableEntry>,
     pub main: Option<MainSpec>,
+    /// Byte codecs for message-body types that may cross process
+    /// boundaries (see [`crate::wire`]); unused by the in-process
+    /// backends.
+    pub wire: crate::wire::WireTable,
 }
 
 impl Registry {
@@ -185,6 +189,7 @@ impl Registry {
             monos: Vec::new(),
             tables: Vec::new(),
             main: None,
+            wire: crate::wire::WireTable::new(),
         }
     }
 }

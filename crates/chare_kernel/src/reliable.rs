@@ -55,7 +55,7 @@ use multicomputer::{Cost, Payload, Pe, Replayable};
 use crate::envelope::{RelSlot, SysMsg};
 
 /// Tuning knobs for the reliable-delivery layer.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ReliableConfig {
     /// Base retransmission timeout. Doubled on every retry (capped at
     /// `timeout << 5`). Must comfortably exceed one data + ack round

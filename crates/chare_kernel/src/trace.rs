@@ -36,7 +36,7 @@ use crate::envelope::SysMsg;
 use crate::ids::{BocId, ChareKind, EpId};
 
 /// Tracing knobs, handed to [`ProgramBuilder::tracing`](crate::program::ProgramBuilder::tracing).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceConfig {
     /// Maximum events retained per PE; older events are overwritten
     /// (counted in [`TraceLog::dropped`]).

@@ -1,0 +1,1379 @@
+//! Byte-level wire codec for kernel envelopes crossing process
+//! boundaries.
+//!
+//! The simulator and thread backends move [`SysMsg`] envelopes between
+//! PEs as in-memory boxes: message bodies stay `Box<dyn Any>` and never
+//! need a byte representation. The multi-process backend
+//! ([`proc`](crate::proc)) cannot do that — every envelope crossing a
+//! socket must become bytes and come back — so this module defines:
+//!
+//! * [`Wire`] — a small explicit codec trait (`encode` into a byte
+//!   vector, `decode` from a [`WireReader`]), implemented for the
+//!   primitives, the kernel id types, priorities, and trace/metric
+//!   snapshot types. Applications implement it for their message and
+//!   seed types, usually via the [`wire_struct!`](crate::wire_struct)
+//!   field-list macro;
+//! * a **wire table** inside the program [`Registry`]: message *bodies*
+//!   are type-erased (`Box<dyn Any>`), so each concrete body type a
+//!   program sends between PEs must be registered up front with
+//!   [`ProgramBuilder::wire`](crate::program::ProgramBuilder::wire).
+//!   Registration order assigns each type a small integer tag; because
+//!   the parent and every worker process construct the *same* program
+//!   (same registration sequence), the tags agree, and a fingerprint of
+//!   the table is checked at the socket handshake to catch drift;
+//! * [`encode_sys`]/[`decode_sys`] — the envelope codec covering every
+//!   `SysMsg` variant, including the awkward ones: spanning-tree
+//!   broadcasts carry a generator closure (encoded by materializing one
+//!   copy; decoded into a closure that re-decodes the captured bytes
+//!   per invocation) and reliable-layer frames carry a shared
+//!   retransmit slot (decoded into a fresh slot — cross-process
+//!   exactly-once comes from receiver sequence dedup, not slot
+//!   sharing).
+//!
+//! Decoding trusts the peer: both ends are the same binary speaking
+//! over a parent-spawned socket, so malformed input panics rather than
+//! propagating errors (the parent turns a worker panic into a
+//! structured abort).
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use multicomputer::Pe;
+
+use crate::envelope::{MsgBody, SysMsg};
+use crate::ids::{AccId, BocId, ChareId, ChareKind, EpId, MonoId, Notify, RoId, TableId, WoId};
+use crate::priority::{BitPrio, Priority};
+use crate::registry::Registry;
+use crate::trace::{EntryWhat, EventKind, MsgClass, TraceEvent};
+
+/// Cursor over a received byte buffer.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        assert!(
+            self.pos + n <= self.buf.len(),
+            "wire: truncated frame (wanted {n} bytes, {} left)",
+            self.remaining()
+        );
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> u16 {
+        u16::from_le_bytes(self.take(2).try_into().expect("2 bytes"))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    /// Read `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> &'a [u8] {
+        self.take(n)
+    }
+}
+
+/// Explicit byte codec for values that cross process boundaries.
+///
+/// Implementations must be self-delimiting: `decode` reads exactly the
+/// bytes `encode` wrote. Derive-style helper: [`wire_struct!`](crate::wire_struct).
+pub trait Wire: Sized + 'static {
+    /// Append this value's byte representation to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Read one value back; panics on malformed input.
+    fn decode(r: &mut WireReader) -> Self;
+}
+
+macro_rules! wire_int {
+    ($($t:ty => $rd:ident),+ $(,)?) => {$(
+        impl Wire for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(r: &mut WireReader) -> Self {
+                r.$rd() as $t
+            }
+        }
+    )+};
+}
+
+wire_int!(u8 => u8, u16 => u16, u32 => u32, u64 => u64);
+
+impl Wire for i32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut WireReader) -> Self {
+        r.u32() as i32
+    }
+}
+
+impl Wire for i64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut WireReader) -> Self {
+        r.u64() as i64
+    }
+}
+
+impl Wire for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn decode(r: &mut WireReader) -> Self {
+        f64::from_bits(r.u64())
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn decode(r: &mut WireReader) -> Self {
+        r.u8() != 0
+    }
+}
+
+impl Wire for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode(_r: &mut WireReader) -> Self {}
+}
+
+impl Wire for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut WireReader) -> Self {
+        let n = r.u32() as usize;
+        String::from_utf8(r.bytes(n).to_vec()).expect("wire: non-UTF-8 string")
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(r: &mut WireReader) -> Self {
+        let n = r.u32() as usize;
+        (0..n).map(|_| T::decode(r)).collect()
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader) -> Self {
+        match r.u8() {
+            0 => None,
+            _ => Some(T::decode(r)),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(r: &mut WireReader) -> Self {
+        (A::decode(r), B::decode(r))
+    }
+}
+
+// ---- kernel id types ---------------------------------------------------
+
+macro_rules! wire_newtype_u32 {
+    ($($t:ident),+ $(,)?) => {$(
+        impl Wire for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                self.0.encode(out);
+            }
+            fn decode(r: &mut WireReader) -> Self {
+                $t(r.u32())
+            }
+        }
+    )+};
+}
+
+wire_newtype_u32!(Pe, ChareKind, EpId, BocId, AccId, MonoId, TableId, RoId);
+
+impl Wire for WoId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(r: &mut WireReader) -> Self {
+        WoId(r.u64())
+    }
+}
+
+impl Wire for ChareId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.pe.encode(out);
+        self.local.encode(out);
+    }
+    fn decode(r: &mut WireReader) -> Self {
+        ChareId {
+            pe: Pe::decode(r),
+            local: r.u32(),
+        }
+    }
+}
+
+impl<C: crate::chare::ChareInit> Wire for crate::ids::Kind<C> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+    }
+    fn decode(r: &mut WireReader) -> Self {
+        crate::ids::Kind::new(ChareKind::decode(r))
+    }
+}
+
+impl<B: crate::boc::BranchInit> Wire for crate::ids::Boc<B> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+    }
+    fn decode(r: &mut WireReader) -> Self {
+        crate::ids::Boc::new(BocId::decode(r))
+    }
+}
+
+impl<A: crate::shared::Accum> Wire for crate::shared::Acc<A> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+    }
+    fn decode(r: &mut WireReader) -> Self {
+        crate::shared::Acc::new(AccId::decode(r))
+    }
+}
+
+impl<M: crate::shared::Mono> Wire for crate::shared::MonoVar<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+    }
+    fn decode(r: &mut WireReader) -> Self {
+        crate::shared::MonoVar::new(MonoId::decode(r))
+    }
+}
+
+impl<V: Clone + Send + 'static> Wire for crate::shared::TableRef<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+    }
+    fn decode(r: &mut WireReader) -> Self {
+        crate::shared::TableRef::new(TableId::decode(r))
+    }
+}
+
+impl<T: Send + Sync + 'static> Wire for crate::shared::ReadOnly<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+    }
+    fn decode(r: &mut WireReader) -> Self {
+        crate::shared::ReadOnly::new(RoId::decode(r))
+    }
+}
+
+impl Wire for Notify {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            Notify::Chare(id, ep) => {
+                out.push(0);
+                id.encode(out);
+                ep.encode(out);
+            }
+            Notify::Branch(boc, pe, ep) => {
+                out.push(1);
+                boc.encode(out);
+                pe.encode(out);
+                ep.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader) -> Self {
+        match r.u8() {
+            0 => Notify::Chare(ChareId::decode(r), EpId::decode(r)),
+            1 => Notify::Branch(BocId::decode(r), Pe::decode(r), EpId::decode(r)),
+            t => panic!("wire: bad Notify tag {t}"),
+        }
+    }
+}
+
+impl Wire for BitPrio {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let len = self.len();
+        len.encode(out);
+        let mut byte = 0u8;
+        for i in 0..len {
+            byte = (byte << 1) | u8::from(self.bit(i));
+            if i % 8 == 7 {
+                out.push(byte);
+                byte = 0;
+            }
+        }
+        if !len.is_multiple_of(8) {
+            out.push(byte << (8 - len % 8));
+        }
+    }
+    fn decode(r: &mut WireReader) -> Self {
+        let len = r.u32();
+        let bytes = r.bytes(len.div_ceil(8) as usize);
+        let mut p = BitPrio::root();
+        for i in 0..len {
+            let b = bytes[(i / 8) as usize] >> (7 - i % 8) & 1;
+            p.push_bit(b != 0);
+        }
+        p
+    }
+}
+
+impl Wire for Priority {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Priority::None => out.push(0),
+            Priority::Int(k) => {
+                out.push(1);
+                k.encode(out);
+            }
+            Priority::Bits(b) => {
+                out.push(2);
+                b.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader) -> Self {
+        match r.u8() {
+            0 => Priority::None,
+            1 => Priority::Int(i64::decode(r)),
+            2 => Priority::Bits(BitPrio::decode(r)),
+            t => panic!("wire: bad Priority tag {t}"),
+        }
+    }
+}
+
+// ---- trace types (for shipping worker telemetry to the parent) ---------
+
+impl Wire for MsgClass {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            MsgClass::Seed => 0,
+            MsgClass::Chare => 1,
+            MsgClass::Branch => 2,
+            MsgClass::Broadcast => 3,
+            MsgClass::Shared => 4,
+            MsgClass::Qd => 5,
+            MsgClass::Balance => 6,
+            MsgClass::Transport => 7,
+            MsgClass::Batch => 8,
+        });
+    }
+    fn decode(r: &mut WireReader) -> Self {
+        match r.u8() {
+            0 => MsgClass::Seed,
+            1 => MsgClass::Chare,
+            2 => MsgClass::Branch,
+            3 => MsgClass::Broadcast,
+            4 => MsgClass::Shared,
+            5 => MsgClass::Qd,
+            6 => MsgClass::Balance,
+            7 => MsgClass::Transport,
+            8 => MsgClass::Batch,
+            t => panic!("wire: bad MsgClass tag {t}"),
+        }
+    }
+}
+
+impl Wire for EntryWhat {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            EntryWhat::Create(k) => {
+                out.push(0);
+                k.encode(out);
+            }
+            EntryWhat::Chare(slot) => {
+                out.push(1);
+                slot.encode(out);
+            }
+            EntryWhat::Branch(b) => {
+                out.push(2);
+                b.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader) -> Self {
+        match r.u8() {
+            0 => EntryWhat::Create(ChareKind::decode(r)),
+            1 => EntryWhat::Chare(r.u32()),
+            2 => EntryWhat::Branch(BocId::decode(r)),
+            t => panic!("wire: bad EntryWhat tag {t}"),
+        }
+    }
+}
+
+impl Wire for EventKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            EventKind::EntryBegin { what, ep } => {
+                out.push(0);
+                what.encode(out);
+                ep.encode(out);
+            }
+            EventKind::EntryEnd { msgs_sent } => {
+                out.push(1);
+                msgs_sent.encode(out);
+            }
+            EventKind::MsgSend { to, class, bytes, hops } => {
+                out.push(2);
+                to.encode(out);
+                class.encode(out);
+                bytes.encode(out);
+                hops.encode(out);
+            }
+            EventKind::MsgRecv { from, class, bytes } => {
+                out.push(3);
+                from.encode(out);
+                class.encode(out);
+                bytes.encode(out);
+            }
+            EventKind::SeedKept { kind, hops } => {
+                out.push(4);
+                kind.encode(out);
+                hops.encode(out);
+            }
+            EventKind::SeedForwarded { kind, to, hops } => {
+                out.push(5);
+                kind.encode(out);
+                to.encode(out);
+                hops.encode(out);
+            }
+            EventKind::SeedRedirected { to } => {
+                out.push(6);
+                to.encode(out);
+            }
+            EventKind::Retransmit { to, seq } => {
+                out.push(7);
+                to.encode(out);
+                seq.encode(out);
+            }
+            EventKind::QueueSample { len } => {
+                out.push(8);
+                len.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader) -> Self {
+        match r.u8() {
+            0 => EventKind::EntryBegin {
+                what: EntryWhat::decode(r),
+                ep: Option::<EpId>::decode(r),
+            },
+            1 => EventKind::EntryEnd { msgs_sent: r.u32() },
+            2 => EventKind::MsgSend {
+                to: Pe::decode(r),
+                class: MsgClass::decode(r),
+                bytes: r.u32(),
+                hops: r.u32(),
+            },
+            3 => EventKind::MsgRecv {
+                from: Pe::decode(r),
+                class: MsgClass::decode(r),
+                bytes: r.u32(),
+            },
+            4 => EventKind::SeedKept {
+                kind: ChareKind::decode(r),
+                hops: r.u32(),
+            },
+            5 => EventKind::SeedForwarded {
+                kind: ChareKind::decode(r),
+                to: Pe::decode(r),
+                hops: r.u32(),
+            },
+            6 => EventKind::SeedRedirected { to: Pe::decode(r) },
+            7 => EventKind::Retransmit {
+                to: Pe::decode(r),
+                seq: r.u64(),
+            },
+            8 => EventKind::QueueSample { len: r.u32() },
+            t => panic!("wire: bad EventKind tag {t}"),
+        }
+    }
+}
+
+impl Wire for TraceEvent {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.at_ns.encode(out);
+        self.pe.encode(out);
+        self.kind.encode(out);
+    }
+    fn decode(r: &mut WireReader) -> Self {
+        TraceEvent {
+            at_ns: r.u64(),
+            pe: Pe::decode(r),
+            kind: EventKind::decode(r),
+        }
+    }
+}
+
+/// Implement [`Wire`] for a struct by listing its fields in declaration
+/// order:
+///
+/// ```ignore
+/// wire_struct!(FibSeed { n, grain, parent, fib });
+/// ```
+///
+/// Field types must themselves implement `Wire`. Keep the field list in
+/// sync with the struct — the codec is positional.
+#[macro_export]
+macro_rules! wire_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::wire::Wire for $ty {
+            fn encode(&self, out: &mut Vec<u8>) {
+                $( $crate::wire::Wire::encode(&self.$field, out); )+
+            }
+            fn decode(r: &mut $crate::wire::WireReader) -> Self {
+                Self { $( $field: $crate::wire::Wire::decode(r) ),+ }
+            }
+        }
+    };
+}
+
+// Kernel notification bodies every program may receive.
+
+impl Wire for crate::shared::QuiescenceMsg {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode(_r: &mut WireReader) -> Self {
+        crate::shared::QuiescenceMsg
+    }
+}
+
+crate::wire_struct!(crate::shared::WoReady { id });
+crate::wire_struct!(crate::shared::TableAck { key, existed });
+
+impl<V: Wire> Wire for crate::shared::TableGot<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.key.encode(out);
+        self.value.encode(out);
+    }
+    fn decode(r: &mut WireReader) -> Self {
+        crate::shared::TableGot {
+            key: u64::decode(r),
+            value: Option::<V>::decode(r),
+        }
+    }
+}
+
+impl<V: Wire> Wire for crate::shared::AccResult<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.value.encode(out);
+    }
+    fn decode(r: &mut WireReader) -> Self {
+        crate::shared::AccResult {
+            value: V::decode(r),
+        }
+    }
+}
+
+// ---- the body-type registry --------------------------------------------
+
+type EncodeFn = Box<dyn Fn(&dyn Any, &mut Vec<u8>) + Send + Sync>;
+type DecodeFn = Box<dyn Fn(&mut WireReader) -> MsgBody + Send + Sync>;
+type DecodeSharedFn = Box<dyn Fn(&mut WireReader) -> Arc<dyn Any + Send + Sync> + Send + Sync>;
+
+struct WireEntry {
+    name: &'static str,
+    encode: EncodeFn,
+    decode: DecodeFn,
+    decode_shared: DecodeSharedFn,
+}
+
+/// Registration-ordered table of message-body codecs.
+///
+/// Tags are indices into the registration order, so two processes that
+/// build the same program get the same tags; [`WireTable::fingerprint`]
+/// is checked at the socket handshake to catch any divergence.
+pub(crate) struct WireTable {
+    tags: HashMap<TypeId, u32>,
+    entries: Vec<WireEntry>,
+}
+
+impl WireTable {
+    /// A table pre-seeded with the primitives and kernel notification
+    /// bodies every program may send (fixed tags 0..N).
+    pub(crate) fn new() -> Self {
+        let mut t = WireTable {
+            tags: HashMap::new(),
+            entries: Vec::new(),
+        };
+        t.register::<()>();
+        t.register::<bool>();
+        t.register::<u8>();
+        t.register::<u16>();
+        t.register::<u32>();
+        t.register::<u64>();
+        t.register::<i64>();
+        t.register::<f64>();
+        t.register::<String>();
+        t.register::<crate::shared::QuiescenceMsg>();
+        t.register::<crate::shared::WoReady>();
+        t.register::<crate::shared::TableAck>();
+        t
+    }
+
+    /// Register `T`'s codec (idempotent; repeat registrations keep the
+    /// first tag).
+    pub(crate) fn register<T: Wire + Send + Sync + 'static>(&mut self) {
+        let id = TypeId::of::<T>();
+        if self.tags.contains_key(&id) {
+            return;
+        }
+        self.tags.insert(id, self.entries.len() as u32);
+        self.entries.push(WireEntry {
+            name: std::any::type_name::<T>(),
+            encode: Box::new(|v, out| {
+                v.downcast_ref::<T>().expect("tag/type mismatch").encode(out);
+            }),
+            decode: Box::new(|r| Box::new(T::decode(r))),
+            decode_shared: Box::new(|r| Arc::new(T::decode(r))),
+        });
+    }
+
+    /// Number of registered body types.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// FNV-1a hash over the registration sequence; parent and workers
+    /// compare these at handshake before exchanging envelopes.
+    pub(crate) fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for e in &self.entries {
+            eat(e.name.as_bytes());
+            eat(&[0xff]);
+        }
+        h
+    }
+
+    /// Encode a type-erased body as `tag + bytes`. Panics (naming the
+    /// context and the registered set) if the concrete type was never
+    /// registered.
+    pub(crate) fn encode_body(&self, what: &str, body: &dyn Any, out: &mut Vec<u8>) {
+        let id = body.type_id();
+        let Some(&tag) = self.tags.get(&id) else {
+            panic!(
+                "wire: {what} carries a body type with no registered codec ({id:?}); \
+                 register it with ProgramBuilder::wire::<T>() so the procs backend \
+                 can serialize it (registered: {})",
+                self.entries.iter().map(|e| e.name).collect::<Vec<_>>().join(", ")
+            )
+        };
+        tag.encode(out);
+        (self.entries[tag as usize].encode)(body, out);
+    }
+
+    /// Decode a `tag + bytes` body back into a boxed value.
+    pub(crate) fn decode_body(&self, r: &mut WireReader) -> MsgBody {
+        let tag = r.u32() as usize;
+        (self.entries[tag].decode)(r)
+    }
+
+    /// Decode a `tag + bytes` body into a shared (`Arc`) value — the
+    /// write-once store replicates bodies by reference.
+    pub(crate) fn decode_shared(&self, r: &mut WireReader) -> Arc<dyn Any + Send + Sync> {
+        let tag = r.u32() as usize;
+        (self.entries[tag].decode_shared)(r)
+    }
+}
+
+// ---- the envelope codec ------------------------------------------------
+
+const T_BATCH: u8 = 0;
+const T_TREECAST: u8 = 1;
+const T_NEWCHARE: u8 = 2;
+const T_CHAREMSG: u8 = 3;
+const T_BRANCHMSG: u8 = 4;
+const T_ACCCOLLECT: u8 = 5;
+const T_ACCPART: u8 = 6;
+const T_MONOUPDATE: u8 = 7;
+const T_TABLEPUT: u8 = 8;
+const T_TABLEGET: u8 = 9;
+const T_TABLEDELETE: u8 = 10;
+const T_WOSTORE: u8 = 11;
+const T_WOACK: u8 = 12;
+const T_QDSTART: u8 = 13;
+const T_QDPOLL: u8 = 14;
+const T_QDCOUNT: u8 = 15;
+const T_LOADSTATUS: u8 = 16;
+const T_WORKREQ: u8 = 17;
+const T_WORKNACK: u8 = 18;
+const T_RELDATA: u8 = 19;
+const T_RELACK: u8 = 20;
+
+/// Encode one kernel envelope (recursively, by reference — the envelope
+/// is not consumed, so the reliable layer can retransmit the same slot).
+pub(crate) fn encode_sys(reg: &Registry, sys: &SysMsg, out: &mut Vec<u8>) {
+    let w = &reg.wire;
+    match sys {
+        SysMsg::Batch(inner) => {
+            out.push(T_BATCH);
+            (inner.len() as u32).encode(out);
+            for m in inner {
+                encode_sys(reg, m, out);
+            }
+        }
+        SysMsg::TreeCast {
+            origin,
+            counted,
+            bytes,
+            gen,
+        } => {
+            out.push(T_TREECAST);
+            origin.encode(out);
+            counted.encode(out);
+            bytes.encode(out);
+            // Materialize one copy of the generated envelope; the
+            // receiver rebuilds a generator that decodes it per call.
+            let mut blob = Vec::new();
+            encode_sys(reg, &gen(), &mut blob);
+            blob.encode(out);
+        }
+        SysMsg::NewChare {
+            kind,
+            seed,
+            bytes,
+            prio,
+            hops,
+        } => {
+            out.push(T_NEWCHARE);
+            kind.encode(out);
+            bytes.encode(out);
+            prio.encode(out);
+            hops.encode(out);
+            w.encode_body("NewChare seed", seed.as_ref(), out);
+        }
+        SysMsg::ChareMsg {
+            target,
+            ep,
+            body,
+            bytes,
+            prio,
+        } => {
+            out.push(T_CHAREMSG);
+            target.encode(out);
+            ep.encode(out);
+            bytes.encode(out);
+            prio.encode(out);
+            w.encode_body("ChareMsg body", body.as_ref(), out);
+        }
+        SysMsg::BranchMsg {
+            boc,
+            ep,
+            body,
+            bytes,
+            prio,
+        } => {
+            out.push(T_BRANCHMSG);
+            boc.encode(out);
+            ep.encode(out);
+            bytes.encode(out);
+            prio.encode(out);
+            w.encode_body("BranchMsg body", body.as_ref(), out);
+        }
+        SysMsg::AccCollect {
+            acc,
+            token,
+            requester,
+        } => {
+            out.push(T_ACCCOLLECT);
+            acc.encode(out);
+            token.encode(out);
+            requester.encode(out);
+        }
+        SysMsg::AccPart { acc, token, part } => {
+            out.push(T_ACCPART);
+            acc.encode(out);
+            token.encode(out);
+            w.encode_body("AccPart value", part.as_ref(), out);
+        }
+        SysMsg::MonoUpdate { mono, value } => {
+            out.push(T_MONOUPDATE);
+            mono.encode(out);
+            w.encode_body("MonoUpdate value", value.as_ref(), out);
+        }
+        SysMsg::TablePut {
+            table,
+            key,
+            value,
+            bytes,
+            notify,
+        } => {
+            out.push(T_TABLEPUT);
+            table.encode(out);
+            key.encode(out);
+            bytes.encode(out);
+            notify.encode(out);
+            w.encode_body("TablePut value", value.as_ref(), out);
+        }
+        SysMsg::TableGet { table, key, notify } => {
+            out.push(T_TABLEGET);
+            table.encode(out);
+            key.encode(out);
+            notify.encode(out);
+        }
+        SysMsg::TableDelete { table, key, notify } => {
+            out.push(T_TABLEDELETE);
+            table.encode(out);
+            key.encode(out);
+            notify.encode(out);
+        }
+        SysMsg::WoStore { wo, value, bytes } => {
+            out.push(T_WOSTORE);
+            wo.encode(out);
+            bytes.encode(out);
+            w.encode_body("WoStore value", value.as_ref(), out);
+        }
+        SysMsg::WoAck { wo } => {
+            out.push(T_WOACK);
+            wo.encode(out);
+        }
+        SysMsg::QdStart { notify } => {
+            out.push(T_QDSTART);
+            notify.encode(out);
+        }
+        SysMsg::QdPoll { wave } => {
+            out.push(T_QDPOLL);
+            wave.encode(out);
+        }
+        SysMsg::QdCount {
+            wave,
+            sent,
+            recv,
+            idle,
+        } => {
+            out.push(T_QDCOUNT);
+            wave.encode(out);
+            sent.encode(out);
+            recv.encode(out);
+            idle.encode(out);
+        }
+        SysMsg::LoadStatus { load } => {
+            out.push(T_LOADSTATUS);
+            load.encode(out);
+        }
+        SysMsg::WorkReq { origin, ttl } => {
+            out.push(T_WORKREQ);
+            origin.encode(out);
+            ttl.encode(out);
+        }
+        SysMsg::WorkNack => out.push(T_WORKNACK),
+        SysMsg::RelData { seq, bytes, slot } => {
+            out.push(T_RELDATA);
+            seq.encode(out);
+            bytes.encode(out);
+            // Peek the retransmit slot without taking it: the sender
+            // keeps co-ownership for retransmission. An already-taken
+            // slot encodes as an empty frame (pure duplicate).
+            let guard = slot.lock().expect("rel slot");
+            match guard.as_ref() {
+                None => out.push(0),
+                Some(inner) => {
+                    out.push(1);
+                    encode_sys(reg, inner, out);
+                }
+            }
+        }
+        SysMsg::RelAck { seqs } => {
+            out.push(T_RELACK);
+            seqs.encode(out);
+        }
+    }
+}
+
+/// Decode one kernel envelope. `reg` rides inside rebuilt broadcast
+/// generators, hence the `Arc`.
+pub(crate) fn decode_sys(reg: &Arc<Registry>, r: &mut WireReader) -> SysMsg {
+    let w = &reg.wire;
+    match r.u8() {
+        T_BATCH => {
+            let n = r.u32() as usize;
+            SysMsg::Batch((0..n).map(|_| decode_sys(reg, r)).collect())
+        }
+        T_TREECAST => {
+            let origin = Pe::decode(r);
+            let counted = bool::decode(r);
+            let bytes = r.u32();
+            let blob: Arc<Vec<u8>> = Arc::new(Vec::<u8>::decode(r));
+            let reg = Arc::clone(reg);
+            SysMsg::TreeCast {
+                origin,
+                counted,
+                bytes,
+                gen: Arc::new(move || {
+                    let mut r = WireReader::new(&blob);
+                    decode_sys(&reg, &mut r)
+                }),
+            }
+        }
+        T_NEWCHARE => {
+            let kind = ChareKind::decode(r);
+            let bytes = r.u32();
+            let prio = Priority::decode(r);
+            let hops = r.u32();
+            let seed = w.decode_body(r);
+            SysMsg::NewChare {
+                kind,
+                seed,
+                bytes,
+                prio,
+                hops,
+            }
+        }
+        T_CHAREMSG => {
+            let target = ChareId::decode(r);
+            let ep = EpId::decode(r);
+            let bytes = r.u32();
+            let prio = Priority::decode(r);
+            let body = w.decode_body(r);
+            SysMsg::ChareMsg {
+                target,
+                ep,
+                body,
+                bytes,
+                prio,
+            }
+        }
+        T_BRANCHMSG => {
+            let boc = BocId::decode(r);
+            let ep = EpId::decode(r);
+            let bytes = r.u32();
+            let prio = Priority::decode(r);
+            let body = w.decode_body(r);
+            SysMsg::BranchMsg {
+                boc,
+                ep,
+                body,
+                bytes,
+                prio,
+            }
+        }
+        T_ACCCOLLECT => SysMsg::AccCollect {
+            acc: AccId::decode(r),
+            token: r.u64(),
+            requester: Pe::decode(r),
+        },
+        T_ACCPART => {
+            let acc = AccId::decode(r);
+            let token = r.u64();
+            let part = w.decode_body(r);
+            SysMsg::AccPart { acc, token, part }
+        }
+        T_MONOUPDATE => {
+            let mono = MonoId::decode(r);
+            let value = w.decode_body(r);
+            SysMsg::MonoUpdate { mono, value }
+        }
+        T_TABLEPUT => {
+            let table = TableId::decode(r);
+            let key = r.u64();
+            let bytes = r.u32();
+            let notify = Option::<Notify>::decode(r);
+            let value = w.decode_body(r);
+            SysMsg::TablePut {
+                table,
+                key,
+                value,
+                bytes,
+                notify,
+            }
+        }
+        T_TABLEGET => SysMsg::TableGet {
+            table: TableId::decode(r),
+            key: r.u64(),
+            notify: Notify::decode(r),
+        },
+        T_TABLEDELETE => SysMsg::TableDelete {
+            table: TableId::decode(r),
+            key: r.u64(),
+            notify: Option::<Notify>::decode(r),
+        },
+        T_WOSTORE => {
+            let wo = WoId::decode(r);
+            let bytes = r.u32();
+            let value = w.decode_shared(r);
+            SysMsg::WoStore { wo, value, bytes }
+        }
+        T_WOACK => SysMsg::WoAck { wo: WoId::decode(r) },
+        T_QDSTART => SysMsg::QdStart {
+            notify: Notify::decode(r),
+        },
+        T_QDPOLL => SysMsg::QdPoll { wave: r.u64() },
+        T_QDCOUNT => SysMsg::QdCount {
+            wave: r.u64(),
+            sent: r.u64(),
+            recv: r.u64(),
+            idle: bool::decode(r),
+        },
+        T_LOADSTATUS => SysMsg::LoadStatus { load: r.u32() },
+        T_WORKREQ => SysMsg::WorkReq {
+            origin: Pe::decode(r),
+            ttl: r.u8(),
+        },
+        T_WORKNACK => SysMsg::WorkNack,
+        T_RELDATA => {
+            let seq = r.u64();
+            let bytes = r.u32();
+            let inner = match r.u8() {
+                0 => None,
+                _ => Some(decode_sys(reg, r)),
+            };
+            // A fresh slot: cross-process exactly-once comes from the
+            // receiver's sequence dedup, not from slot co-ownership.
+            SysMsg::RelData {
+                seq,
+                bytes,
+                slot: Arc::new(Mutex::new(inner)),
+            }
+        }
+        T_RELACK => SysMsg::RelAck {
+            seqs: Vec::<u64>::decode(r),
+        },
+        t => panic!("wire: bad SysMsg tag {t}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::priority::Priority;
+
+    fn roundtrip_sys(reg: &Arc<Registry>, sys: &SysMsg) -> SysMsg {
+        let mut out = Vec::new();
+        encode_sys(reg, sys, &mut out);
+        let mut r = WireReader::new(&out);
+        let back = decode_sys(reg, &mut r);
+        assert_eq!(r.remaining(), 0, "codec must be self-delimiting");
+        back
+    }
+
+    fn test_registry() -> Arc<Registry> {
+        Arc::new(Registry::new())
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        let mut out = Vec::new();
+        42u64.encode(&mut out);
+        (-7i64).encode(&mut out);
+        3.5f64.encode(&mut out);
+        true.encode(&mut out);
+        "hello".to_string().encode(&mut out);
+        vec![1u32, 2, 3].encode(&mut out);
+        Some(9u8).encode(&mut out);
+        Option::<u8>::None.encode(&mut out);
+        let mut r = WireReader::new(&out);
+        assert_eq!(u64::decode(&mut r), 42);
+        assert_eq!(i64::decode(&mut r), -7);
+        assert_eq!(f64::decode(&mut r), 3.5);
+        assert!(bool::decode(&mut r));
+        assert_eq!(String::decode(&mut r), "hello");
+        assert_eq!(Vec::<u32>::decode(&mut r), vec![1, 2, 3]);
+        assert_eq!(Option::<u8>::decode(&mut r), Some(9));
+        assert_eq!(Option::<u8>::decode(&mut r), None);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bit_priority_roundtrips_exactly() {
+        let mut p = BitPrio::root();
+        for (i, bit) in [true, false, true, true, false, false, true, false, true, true]
+            .iter()
+            .enumerate()
+        {
+            p.push_bit(*bit);
+            // Roundtrip at every length, including non-byte-aligned.
+            let mut out = Vec::new();
+            p.encode(&mut out);
+            let mut r = WireReader::new(&out);
+            let back = BitPrio::decode(&mut r);
+            assert_eq!(back.len(), p.len(), "len at step {i}");
+            for j in 0..p.len() {
+                assert_eq!(back.bit(j), p.bit(j), "bit {j} at step {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn priority_variants_roundtrip() {
+        let reg = test_registry();
+        for prio in [
+            Priority::None,
+            Priority::Int(-12345),
+            Priority::Bits(BitPrio::root().child(5, 3)),
+        ] {
+            let sys = SysMsg::ChareMsg {
+                target: ChareId {
+                    pe: Pe(2),
+                    local: 7,
+                },
+                ep: EpId(3),
+                body: Box::new(42u64),
+                bytes: 8,
+                prio: prio.clone(),
+            };
+            match roundtrip_sys(&reg, &sys) {
+                SysMsg::ChareMsg {
+                    target,
+                    ep,
+                    body,
+                    bytes,
+                    prio: p,
+                } => {
+                    assert_eq!(target, ChareId { pe: Pe(2), local: 7 });
+                    assert_eq!(ep, EpId(3));
+                    assert_eq!(bytes, 8);
+                    assert_eq!(*body.downcast::<u64>().unwrap(), 42);
+                    assert_eq!(p.int_key(), prio.int_key());
+                }
+                ref _other => panic!("wrong variant"),
+            }
+        }
+    }
+
+    #[test]
+    fn treecast_generator_survives_the_wire() {
+        let reg = test_registry();
+        let sys = SysMsg::TreeCast {
+            origin: Pe(1),
+            counted: true,
+            bytes: 16,
+            gen: Arc::new(|| SysMsg::MonoUpdate {
+                mono: MonoId(0),
+                value: Box::new(99u64),
+            }),
+        };
+        match roundtrip_sys(&reg, &sys) {
+            SysMsg::TreeCast {
+                origin,
+                counted,
+                bytes,
+                gen,
+            } => {
+                assert_eq!(origin, Pe(1));
+                assert!(counted);
+                assert_eq!(bytes, 16);
+                // The rebuilt generator must mint fresh copies per call.
+                for _ in 0..3 {
+                    match gen() {
+                        SysMsg::MonoUpdate { mono, value } => {
+                            assert_eq!(mono, MonoId(0));
+                            assert_eq!(*value.downcast::<u64>().unwrap(), 99);
+                        }
+                        ref _other => panic!("wrong inner"),
+                    }
+                }
+            }
+            ref _other => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn reldata_decodes_into_fresh_slot() {
+        let reg = test_registry();
+        let slot = Arc::new(Mutex::new(Some(SysMsg::QdPoll { wave: 4 })));
+        let sys = SysMsg::RelData {
+            seq: 9,
+            bytes: 32,
+            slot: Arc::clone(&slot),
+        };
+        match roundtrip_sys(&reg, &sys) {
+            SysMsg::RelData {
+                seq,
+                bytes,
+                slot: got,
+            } => {
+                assert_eq!((seq, bytes), (9, 32));
+                assert!(!Arc::ptr_eq(&slot, &got), "receiver gets its own slot");
+                match got.lock().unwrap().take() {
+                    Some(SysMsg::QdPoll { wave }) => assert_eq!(wave, 4),
+                    ref _other => panic!("wrong inner"),
+                }
+                // The sender's slot is untouched — still retransmittable.
+                assert!(slot.lock().unwrap().is_some());
+            }
+            ref _other => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn taken_reldata_slot_encodes_as_empty_frame() {
+        let reg = test_registry();
+        let sys = SysMsg::RelData {
+            seq: 2,
+            bytes: 8,
+            slot: Arc::new(Mutex::new(None)),
+        };
+        match roundtrip_sys(&reg, &sys) {
+            SysMsg::RelData { slot, .. } => assert!(slot.lock().unwrap().is_none()),
+            ref _other => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn batch_and_control_variants_roundtrip() {
+        let reg = test_registry();
+        let sys = SysMsg::Batch(vec![
+            SysMsg::QdCount {
+                wave: 1,
+                sent: 10,
+                recv: 9,
+                idle: false,
+            },
+            SysMsg::LoadStatus { load: 3 },
+            SysMsg::WorkReq {
+                origin: Pe(2),
+                ttl: 5,
+            },
+            SysMsg::WorkNack,
+            SysMsg::RelAck { seqs: vec![1, 2, 5] },
+            SysMsg::WoAck { wo: WoId(77) },
+        ]);
+        match roundtrip_sys(&reg, &sys) {
+            SysMsg::Batch(inner) => {
+                assert_eq!(inner.len(), 6);
+                assert!(matches!(inner[0], SysMsg::QdCount { wave: 1, sent: 10, recv: 9, idle: false }));
+                assert!(matches!(inner[1], SysMsg::LoadStatus { load: 3 }));
+                assert!(matches!(inner[3], SysMsg::WorkNack));
+                match &inner[4] {
+                    SysMsg::RelAck { seqs } => assert_eq!(seqs, &vec![1, 2, 5]),
+                    _other => panic!("wrong ack"),
+                }
+            }
+            ref _other => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn wostore_shared_body_roundtrips() {
+        let reg = test_registry();
+        let sys = SysMsg::WoStore {
+            wo: WoId(3),
+            value: Arc::new("shared".to_string()),
+            bytes: 6,
+        };
+        match roundtrip_sys(&reg, &sys) {
+            SysMsg::WoStore { wo, value, bytes } => {
+                assert_eq!((wo, bytes), (WoId(3), 6));
+                assert_eq!(value.downcast_ref::<String>().unwrap(), "shared");
+            }
+            ref _other => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no registered codec")]
+    fn unregistered_body_type_panics_with_guidance() {
+        struct Opaque;
+        let reg = test_registry();
+        let sys = SysMsg::MonoUpdate {
+            mono: MonoId(0),
+            value: Box::new(Opaque),
+        };
+        let mut out = Vec::new();
+        encode_sys(&reg, &sys, &mut out);
+    }
+
+    #[test]
+    fn fingerprint_tracks_registration_sequence() {
+        let a = WireTable::new();
+        let b = WireTable::new();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same sequence, same print");
+        let mut c = WireTable::new();
+        c.register::<Vec<u64>>();
+        assert_ne!(a.fingerprint(), c.fingerprint(), "extra type changes print");
+        // Idempotent re-registration keeps the fingerprint (and tags).
+        let mut d = WireTable::new();
+        d.register::<Vec<u64>>();
+        d.register::<Vec<u64>>();
+        assert_eq!(c.fingerprint(), d.fingerprint());
+        assert_eq!(c.len(), d.len());
+    }
+
+    #[test]
+    fn trace_event_roundtrips() {
+        let evs = vec![
+            TraceEvent {
+                at_ns: 5,
+                pe: Pe(1),
+                kind: EventKind::Retransmit { to: Pe(2), seq: 7 },
+            },
+            TraceEvent {
+                at_ns: 9,
+                pe: Pe(0),
+                kind: EventKind::MsgSend {
+                    to: Pe(3),
+                    class: MsgClass::Seed,
+                    bytes: 48,
+                    hops: 2,
+                },
+            },
+            TraceEvent {
+                at_ns: 11,
+                pe: Pe(2),
+                kind: EventKind::EntryBegin {
+                    what: EntryWhat::Branch(BocId(1)),
+                    ep: Some(EpId(4)),
+                },
+            },
+        ];
+        let mut out = Vec::new();
+        evs.encode(&mut out);
+        let mut r = WireReader::new(&out);
+        assert_eq!(Vec::<TraceEvent>::decode(&mut r), evs);
+        assert_eq!(r.remaining(), 0);
+    }
+}

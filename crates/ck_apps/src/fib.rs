@@ -68,6 +68,11 @@ pub struct FibSeed {
 }
 message!(FibSeed);
 
+// Wire codecs for the multi-process backend (positional field lists).
+wire_struct!(FibParams { n, grain });
+wire_struct!(MainSeed { params, fib });
+wire_struct!(FibSeed { n, grain, parent, fib });
+
 /// The main chare: spawns the root and exits with its result.
 pub struct FibMain;
 
@@ -160,6 +165,8 @@ pub fn build(
     let mut b = ProgramBuilder::new();
     let fib = b.chare::<FibChare>();
     let main = b.chare::<FibMain>();
+    b.wire::<MainSeed>();
+    b.wire::<FibSeed>();
     b.queueing(queueing);
     b.balance(balance);
     b.main(main, MainSeed { params, fib });

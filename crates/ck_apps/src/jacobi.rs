@@ -117,6 +117,10 @@ impl Message for GhostMsg {
     }
 }
 
+// Wire codecs for the multi-process backend.
+wire_struct!(GhostMsg { iter, from_above, row });
+wire_struct!(MainSeed { acc });
+
 /// Per-program BOC configuration.
 #[derive(Clone)]
 pub struct JacobiCfg {
@@ -358,6 +362,9 @@ pub fn build(
     let acc = b.accumulator::<SumF64>();
     let main = b.chare::<JacobiMain>();
     let _boc = b.boc::<JacobiBranch>(JacobiCfg { params, acc });
+    b.wire::<MainSeed>();
+    b.wire::<GhostMsg>();
+    b.wire::<AccResult<f64>>();
     b.queueing(queueing);
     b.balance(balance);
     b.main(main, MainSeed { acc });

@@ -21,6 +21,11 @@
 //! Every app exposes `build(params, queueing, balance) -> Program`,
 //! `build_default(params)`, and a sequential reference implementation
 //! used both for verification and as the speedup denominator.
+//!
+//! The [`spec`] module maps a textual spec (`"fib:n=18,grain=10"`) to a
+//! built program; the multi-process backend uses it so parent and
+//! re-invoked worker processes construct identical programs (see
+//! [`spec::worker_hook`]).
 
 pub mod baseline;
 pub mod costs;
@@ -34,3 +39,4 @@ pub mod fib;
 pub mod matmul;
 pub mod nqueens;
 pub mod primes;
+pub mod spec;

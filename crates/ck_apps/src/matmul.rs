@@ -92,6 +92,10 @@ impl Message for BlockMsg {
     }
 }
 
+// Wire codecs for the multi-process backend.
+wire_struct!(BlockMsg { round, data });
+wire_struct!(MainSeed { acc });
+
 /// BOC configuration.
 #[derive(Clone)]
 pub struct MatmulCfg {
@@ -287,6 +291,9 @@ pub fn build(
     let acc = b.accumulator::<SumF64>();
     let main = b.chare::<MatmulMain>();
     let _boc = b.boc::<MatmulBranch>(MatmulCfg { params, acc });
+    b.wire::<MainSeed>();
+    b.wire::<BlockMsg>();
+    b.wire::<AccResult<f64>>();
     b.queueing(queueing);
     b.balance(balance);
     b.main(main, MainSeed { acc });

@@ -85,6 +85,11 @@ pub struct NodeSeed {
 }
 message!(NodeSeed);
 
+// Wire codecs for the multi-process backend.
+wire_struct!(QueensParams { n, grain });
+wire_struct!(MainSeed { params, node, acc });
+wire_struct!(NodeSeed { n, grain, row, cols, dl, dr, node, acc });
+
 /// The main chare: seeds the root, waits for quiescence, collects.
 pub struct QueensMain {
     acc: Acc<SumU64>,
@@ -185,6 +190,9 @@ pub fn build(
     let node = b.chare::<QueensChare>();
     let main = b.chare::<QueensMain>();
     let acc = b.accumulator::<SumU64>();
+    b.wire::<MainSeed>();
+    b.wire::<NodeSeed>();
+    b.wire::<AccResult<u64>>();
     b.queueing(queueing);
     b.balance(balance);
     b.main(main, MainSeed { params, node, acc });

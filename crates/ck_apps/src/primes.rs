@@ -92,6 +92,11 @@ pub struct ChunkSeed {
 }
 message!(ChunkSeed);
 
+// Wire codecs for the multi-process backend.
+wire_struct!(PrimesParams { limit, chunks });
+wire_struct!(MainSeed { params, chunk, acc });
+wire_struct!(ChunkSeed { lo, hi, acc });
+
 /// The main chare.
 pub struct PrimesMain {
     acc: Acc<SumU64>,
@@ -181,6 +186,9 @@ pub fn build(
     let chunk = b.chare::<ChunkChare>();
     let main = b.chare::<PrimesMain>();
     let acc = b.accumulator::<SumU64>();
+    b.wire::<MainSeed>();
+    b.wire::<ChunkSeed>();
+    b.wire::<AccResult<u64>>();
     b.queueing(queueing);
     b.balance(balance);
     b.main(main, MainSeed { params, chunk, acc });

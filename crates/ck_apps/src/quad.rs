@@ -118,6 +118,12 @@ pub struct NodeSeed {
 }
 message!(NodeSeed);
 
+// Wire codecs for the multi-process backend.
+wire_struct!(QuadParams { a, b, tol, grain });
+wire_struct!(Handles { node, acc, grain });
+wire_struct!(MainSeed { params, h });
+wire_struct!(NodeSeed { a, b, tol, whole, h });
+
 /// The main chare.
 pub struct QuadMain {
     acc: Acc<SumF64>,
@@ -222,6 +228,9 @@ pub fn build(params: QuadParams, queueing: QueueingStrategy, balance: BalanceStr
     let node = b.chare::<QuadChare>();
     let main = b.chare::<QuadMain>();
     let acc = b.accumulator::<SumF64>();
+    b.wire::<MainSeed>();
+    b.wire::<NodeSeed>();
+    b.wire::<AccResult<f64>>();
     b.queueing(queueing);
     b.balance(balance);
     b.main(

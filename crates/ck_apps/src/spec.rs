@@ -1,0 +1,217 @@
+//! Spec strings: a tiny textual program description shared by the
+//! multi-process backend's parent and its worker processes.
+//!
+//! The procs backend re-invokes the current binary per PE; the worker
+//! must rebuild *exactly* the program the parent holds (same chare
+//! registration order, same wire-table fingerprint). A spec string like
+//! `"fib:n=18,grain=10,bal=acwn"` is shipped to workers in `CK_SPEC`,
+//! and both sides call [`build_spec`] on it.
+//!
+//! Format: `app[:key=val,...]`. Omitted keys take the app's defaults.
+//! Every app accepts `bal` (`local`, `random`, `acwn`, `central`,
+//! `token`) and `q` (`fifo`, `lifo`) plus its own parameter keys:
+//!
+//! | app       | keys                  |
+//! |-----------|-----------------------|
+//! | `fib`     | `n`, `grain`          |
+//! | `jacobi`  | `n`, `iters`          |
+//! | `matmul`  | `n`                   |
+//! | `nqueens` | `n`, `grain`          |
+//! | `primes`  | `limit`, `chunks`     |
+//! | `quad`    | `grain` (thousandths) |
+
+use chare_kernel::prelude::*;
+use chare_kernel::Program;
+
+use crate::{fib, jacobi, matmul, nqueens, primes, quad};
+
+/// Entry hook for binaries that may be re-invoked as procs-backend
+/// workers: call this first in `main` (and first in any test that runs
+/// the procs backend). A normal invocation returns immediately; a
+/// worker invocation (`CK_PE_RANK` set) builds the program from the
+/// spec string, runs the PE loop and exits the process.
+pub fn worker_hook() {
+    chare_kernel::maybe_worker(build_spec);
+}
+
+/// Build the program a spec string describes. Panics on a malformed
+/// spec — parent and worker must agree on the string, so an error here
+/// is a bug, not an input condition.
+pub fn build_spec(spec: &str) -> Program {
+    let (app, rest) = match spec.split_once(':') {
+        Some((app, rest)) => (app, rest),
+        None => (spec, ""),
+    };
+    let mut kv: Vec<(&str, &str)> = Vec::new();
+    for pair in rest.split(',').filter(|p| !p.is_empty()) {
+        let (k, v) = pair
+            .split_once('=')
+            .unwrap_or_else(|| panic!("bad spec pair {pair:?} in {spec:?}"));
+        kv.push((k, v));
+    }
+    let mut opts = CommonOpts::default();
+    kv.retain(|&(k, v)| !opts.take(spec, k, v));
+    let get = |key: &str| kv.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v);
+    let num = |key: &str| -> Option<u64> {
+        get(key).map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("bad number {v:?} for {key:?} in {spec:?}"))
+        })
+    };
+    let known = |keys: &[&str]| {
+        for &(k, _) in &kv {
+            assert!(keys.contains(&k), "unknown key {k:?} in spec {spec:?}");
+        }
+    };
+    match app {
+        "fib" => {
+            known(&["n", "grain"]);
+            let d = fib::FibParams::default();
+            let params = fib::FibParams {
+                n: num("n").map_or(d.n, |v| v as u32),
+                grain: num("grain").map_or(d.grain, |v| v as u32),
+            };
+            fib::build(params, opts.queueing(), opts.balance_or(BalanceStrategy::acwn()))
+        }
+        "jacobi" => {
+            known(&["n", "iters"]);
+            let d = jacobi::JacobiParams::default();
+            let params = jacobi::JacobiParams {
+                n: num("n").map_or(d.n, |v| v as usize),
+                iters: num("iters").map_or(d.iters, |v| v as u32),
+            };
+            jacobi::build(params, opts.queueing(), opts.balance_or(BalanceStrategy::Local))
+        }
+        "matmul" => {
+            known(&["n"]);
+            let d = matmul::MatmulParams::default();
+            let params = matmul::MatmulParams {
+                n: num("n").map_or(d.n, |v| v as usize),
+            };
+            matmul::build(params, opts.queueing(), opts.balance_or(BalanceStrategy::Local))
+        }
+        "nqueens" => {
+            known(&["n", "grain"]);
+            let d = nqueens::QueensParams::default();
+            let params = nqueens::QueensParams {
+                n: num("n").map_or(d.n, |v| v as u8),
+                grain: num("grain").map_or(d.grain, |v| v as u8),
+            };
+            nqueens::build(params, opts.queueing(), opts.balance_or(BalanceStrategy::acwn()))
+        }
+        "primes" => {
+            known(&["limit", "chunks"]);
+            let d = primes::PrimesParams::default();
+            let params = primes::PrimesParams {
+                limit: num("limit").unwrap_or(d.limit),
+                chunks: num("chunks").map_or(d.chunks, |v| v as u32),
+            };
+            primes::build(params, opts.queueing(), opts.balance_or(BalanceStrategy::Random))
+        }
+        "quad" => {
+            // `grain` is in thousandths so the spec stays integer-only.
+            known(&["grain"]);
+            let d = quad::QuadParams::default();
+            let params = quad::QuadParams {
+                grain: num("grain").map_or(d.grain, |v| v as f64 / 1000.0),
+                ..d
+            };
+            quad::build(params, opts.queueing(), opts.balance_or(BalanceStrategy::acwn()))
+        }
+        other => panic!("unknown app {other:?} in spec {spec:?}"),
+    }
+}
+
+/// Strategy keys shared by every app.
+#[derive(Default)]
+struct CommonOpts {
+    queueing: Option<QueueingStrategy>,
+    balance: Option<BalanceStrategy>,
+}
+
+impl CommonOpts {
+    /// Consume `k=v` if it is a common key; true if consumed.
+    fn take(&mut self, spec: &str, k: &str, v: &str) -> bool {
+        match k {
+            "q" => {
+                self.queueing = Some(match v {
+                    "fifo" => QueueingStrategy::Fifo,
+                    "lifo" => QueueingStrategy::Lifo,
+                    _ => panic!("unknown queueing {v:?} in spec {spec:?}"),
+                });
+                true
+            }
+            "bal" => {
+                self.balance = Some(match v {
+                    "local" => BalanceStrategy::Local,
+                    "random" => BalanceStrategy::Random,
+                    "acwn" => BalanceStrategy::acwn(),
+                    "central" => BalanceStrategy::CentralManager,
+                    "token" => BalanceStrategy::TokenIdle,
+                    _ => panic!("unknown balance {v:?} in spec {spec:?}"),
+                });
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn queueing(&self) -> QueueingStrategy {
+        self.queueing.unwrap_or(QueueingStrategy::Fifo)
+    }
+
+    fn balance_or(&mut self, default: BalanceStrategy) -> BalanceStrategy {
+        self.balance.take().unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_build_default() {
+        // A bare app name builds a runnable program with the app's
+        // default parameters and table-default strategies.
+        let mut rep = build_spec("fib:n=16,grain=10").run_sim_preset(4, MachinePreset::NcubeLike);
+        assert_eq!(rep.take_result::<u64>(), Some(fib::fib_seq(16)));
+    }
+
+    #[test]
+    fn params_are_applied() {
+        let mut rep =
+            build_spec("primes:limit=1000,chunks=8").run_sim_preset(4, MachinePreset::NcubeLike);
+        assert_eq!(rep.take_result::<u64>(), Some(primes::primes_seq(1000)));
+    }
+
+    #[test]
+    fn strategies_parse() {
+        let mut rep = build_spec("nqueens:n=7,grain=4,bal=random,q=lifo")
+            .run_sim_preset(4, MachinePreset::NcubeLike);
+        assert_eq!(rep.take_result::<u64>(), Some(nqueens::nqueens_seq(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown app")]
+    fn unknown_app_panics() {
+        build_spec("sudoku");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown key")]
+    fn unknown_key_panics() {
+        build_spec("fib:m=3");
+    }
+
+    #[test]
+    fn fingerprints_agree_between_two_builds() {
+        // The procs handshake hinges on this: two independent builds of
+        // the same spec must produce identical wire-table fingerprints.
+        let a = build_spec("jacobi:n=16,iters=4");
+        let b = build_spec("jacobi:n=16,iters=4");
+        assert_eq!(a.wire_fingerprint(), b.wire_fingerprint());
+        // ...and a different app must not (the registries differ).
+        let c = build_spec("fib");
+        assert_ne!(a.wire_fingerprint(), c.wire_fingerprint());
+    }
+}

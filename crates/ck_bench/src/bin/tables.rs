@@ -25,6 +25,8 @@ const TABLE_R: u32 = 100;
 const TABLE_P: u32 = 101;
 /// Internal id for `--table m`.
 const TABLE_M: u32 = 102;
+/// Internal id for `--table b`.
+const TABLE_B: u32 = 103;
 
 fn usage() -> ! {
     eprintln!(
@@ -33,7 +35,8 @@ fn usage() -> ! {
          \x20              [--jobs N | --serial] [--no-cache]\n\
          \x20              [--host-perf [--bench-out PATH]] [--metrics-perf]\n\
          tables: 1..=8, r (resilience), p (overhead attribution),\n\
-         \x20        m (streaming time profiles)   figures: 1..=8\n\
+         \x20        m (streaming time profiles), b (cross-backend conformance)\n\
+         \x20        figures: 1..=8\n\
          --matrix APP        PExPE message matrix for one benchmark (e.g. fib)\n\
          --export-trace APP  Chrome trace-event JSON for one benchmark\n\
          \x20                  (open at https://ui.perfetto.dev); --out writes to a file\n\
@@ -51,6 +54,9 @@ fn usage() -> ! {
 }
 
 fn main() {
+    // Table B re-invokes this binary as multi-process backend workers;
+    // a worker invocation runs its PE loop here and never returns.
+    ck_apps::spec::worker_hook();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Full;
     let mut csv = false;
@@ -99,6 +105,7 @@ fn main() {
                     Some("r") | Some("R") if is_table => TABLE_R,
                     Some("p") | Some("P") if is_table => TABLE_P,
                     Some("m") | Some("M") if is_table => TABLE_M,
+                    Some("b") | Some("B") if is_table => TABLE_B,
                     Some(a) => a.parse().unwrap_or_else(|_| usage()),
                     None => usage(),
                 };
@@ -147,6 +154,7 @@ fn main() {
             (true, TABLE_R) => ck_bench::table_r(scale),
             (true, TABLE_P) => ck_bench::table_p(scale),
             (true, TABLE_M) => ck_bench::table_m(scale),
+            (true, TABLE_B) => ck_bench::table_b(scale),
             (false, 1) => ck_bench::fig1(scale),
             (false, 2) => ck_bench::fig2(scale),
             (false, 3) => ck_bench::fig3(scale),

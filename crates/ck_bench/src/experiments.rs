@@ -1118,6 +1118,78 @@ pub fn table_r(scale: Scale) -> Table {
     t
 }
 
+/// Table B: cross-backend conformance — the same three programs on the
+/// event-driven simulator, the shared-memory threads backend, and the
+/// multi-process socket backend, with answers asserted byte-identical
+/// across all three before the table renders.
+pub fn table_b(scale: Scale) -> Table {
+    table_b_cfg(scale, &|npes, spec| ProcConfig::new(npes, spec))
+}
+
+/// [`table_b`] with an explicit `ProcConfig` constructor: the `tables`
+/// binary uses the plain binary re-invocation contract
+/// (`ProcConfig::new`), while the unit test routes worker re-invocation
+/// through the test harness (`ProcConfig::for_test`).
+pub fn table_b_cfg(scale: Scale, proc_cfg: &dyn Fn(usize, &str) -> ProcConfig) -> Table {
+    let npes = 4;
+    let specs: &[(&str, &str)] = match scale {
+        Scale::Quick => &[
+            ("fib", "fib:n=18,grain=11"),
+            ("jacobi", "jacobi:n=24,iters=8"),
+            ("matmul", "matmul:n=32"),
+        ],
+        Scale::Full => &[
+            ("fib", "fib:n=22,grain=12"),
+            ("jacobi", "jacobi:n=48,iters=12"),
+            ("matmul", "matmul:n=64"),
+        ],
+    };
+    let mut t = Table::new(
+        format!(
+            "Table B: cross-backend conformance ({npes} PEs: simulator / threads / processes)"
+        ),
+        &["program", "backend", "answer", "time ms", "user msgs"],
+    );
+    for &(name, spec_str) in specs {
+        // `{:?}` on f64 is the shortest round-trip rendering: two
+        // answers print identically iff they are bit-identical.
+        let answer = |rep: &CkReport| -> String {
+            if name == "fib" {
+                rep.result_ref::<u64>().expect("u64 result").to_string()
+            } else {
+                format!("{:?}", rep.result_ref::<f64>().expect("f64 result"))
+            }
+        };
+        let sim =
+            ck_apps::spec::build_spec(spec_str).run_sim_preset(npes, MachinePreset::NcubeLike);
+        let thr = ck_apps::spec::build_spec(spec_str).run_threads(npes);
+        assert!(!thr.timed_out, "{name} threads run timed out");
+        let prc = ck_apps::spec::build_spec(spec_str).run_procs(&proc_cfg(npes, spec_str));
+        let detail = prc.proc.as_ref().expect("procs detail");
+        assert!(
+            detail.aborted.is_none(),
+            "{name} procs run aborted: {}",
+            detail.aborted.as_ref().unwrap()
+        );
+        assert!(!prc.timed_out, "{name} procs run timed out");
+        let want = answer(&sim);
+        for (backend, rep) in [("sim", &sim), ("threads", &thr), ("procs", &prc)] {
+            let got = answer(rep);
+            assert_eq!(got, want, "{name}: {backend} answer diverges from sim");
+            t.row(vec![
+                name.into(),
+                backend.into(),
+                got,
+                ms(rep.time_ns),
+                rep.counter_total("user_sent").to_string(),
+            ]);
+        }
+    }
+    t.note("answers asserted byte-identical across the three backends before rendering");
+    t.note("sim times are simulated NCUBE-like ms; threads/procs times are host wall-clock ms");
+    t
+}
+
 /// Every experiment, in order (serial; see [`crate::driver::run_all`]
 /// for the thread-parallel form — the output is identical).
 pub fn all(scale: Scale) -> Vec<Table> {
@@ -1188,6 +1260,32 @@ mod tests {
             assert_eq!(pair[0][0], pair[1][0], "rows must pair per app");
             assert_eq!(pair[0][1], "off");
             assert_eq!(pair[1][1], "on");
+        }
+    }
+
+    #[test]
+    fn table_b_quick_answers_agree_across_backends() {
+        // Worker re-invocations of this test binary route through the
+        // harness, so the hook must run before any procs run spawns.
+        ck_apps::spec::worker_hook();
+        // Unit tests are registered under their full module path — the
+        // `--exact` re-invocation filter must match it.
+        let t = table_b_cfg(Scale::Quick, &|npes, spec| {
+            ProcConfig::for_test(
+                npes,
+                spec,
+                "experiments::tests::table_b_quick_answers_agree_across_backends",
+            )
+        });
+        assert_eq!(t.rows.len(), 3 * 3); // 3 apps x 3 backends
+        for app in t.rows.chunks(3) {
+            assert_eq!(app[0][1], "sim");
+            assert_eq!(app[1][1], "threads");
+            assert_eq!(app[2][1], "procs");
+            // table_b_cfg already asserts this; re-check the rendered
+            // cells so the table itself is the artifact under test.
+            assert_eq!(app[0][2], app[1][2], "{app:?}");
+            assert_eq!(app[0][2], app[2][2], "{app:?}");
         }
     }
 

@@ -28,12 +28,18 @@
 //! Every step is a pure function of the seed: the same campaign seed
 //! produces the same scenarios, storms and verdicts anywhere, which is
 //! what makes a randomized campaign *regressable*.
+//!
+//! The same scenario stream also feeds a *procs slice* ([`procs`]):
+//! scenarios replayed as real OS processes over sockets, faulted by the
+//! backend's deterministic loss shim instead of a simulator storm, and
+//! judged by the unchanged oracle battery.
 
 pub mod campaign;
 pub mod corpus;
 pub mod forensics;
 pub mod minimize;
 pub mod oracle;
+pub mod procs;
 pub mod scenario;
 pub mod storm;
 

@@ -70,6 +70,14 @@ pub enum Violation {
         /// Total `backlog_end` across PEs.
         backlog: u64,
     },
+    /// A multi-process run was cut short (worker death, protocol
+    /// violation, or the parent watchdog — the procs backend's
+    /// structured-completion failures, including its rendering of a
+    /// hang).
+    Aborted {
+        /// The backend's structured reason, rendered.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -94,6 +102,7 @@ impl std::fmt::Display for Violation {
                 f,
                 "quiescence declared with {backlog} runnable user messages still queued"
             ),
+            Violation::Aborted { reason } => write!(f, "run aborted: {reason}"),
         }
     }
 }
@@ -114,13 +123,30 @@ pub fn ledger_gate_active(rep: &CkReport) -> bool {
 /// reference answer. Returns all violations found (empty = pass).
 pub fn judge(sc: &Scenario, rep: &CkReport, want: Answer) -> Vec<Violation> {
     let mut out = Vec::new();
-    let sim = rep.sim.as_ref().expect("desim runs on the simulator");
-    let hung = match sim.aborted {
-        Some(AbortReason::MaxEvents { limit }) => {
-            out.push(Violation::Hang { limit });
-            true
+    // Structured completion, per backend: the simulator converts hangs
+    // into `MaxEvents` aborts; the procs backend surfaces worker deaths
+    // and watchdog expiry through its own abort reasons. Either way a
+    // cut-short run fails this oracle and suppresses the dependent ones.
+    let hung = if let Some(sim) = rep.sim.as_ref() {
+        match sim.aborted {
+            Some(AbortReason::MaxEvents { limit }) => {
+                out.push(Violation::Hang { limit });
+                true
+            }
+            None => false,
         }
-        None => false,
+    } else if let Some(proc) = rep.proc.as_ref() {
+        match &proc.aborted {
+            Some(reason) => {
+                out.push(Violation::Aborted {
+                    reason: reason.to_string(),
+                });
+                true
+            }
+            None => false,
+        }
+    } else {
+        false
     };
     if !hung {
         match sc.app.extract(rep) {

@@ -1,9 +1,19 @@
 //! Machine independence: every benchmark produces the same answer on
-//! the discrete-event simulator and the real thread backend — the
-//! paper's core portability claim, exercised end-to-end.
+//! the discrete-event simulator, the real thread backend, and the
+//! multi-process socket backend — the paper's core portability claim,
+//! exercised end-to-end.
+//!
+//! The second half of the file is the cross-backend conformance matrix:
+//! each app runs on all three machines from one spec string and must
+//! produce the identical answer *and* satisfy the kernel's counter
+//! invariants (seed ledger balance, single quiescence declaration) on
+//! every one. Procs-backend workers re-enter the same test via
+//! `ProcConfig::for_test`, so every matrix test calls
+//! `spec::worker_hook()` before anything else.
 
-use charm_repro::ck_apps::{fib, jacobi, nqueens, primes, puzzle, tsp};
+use charm_repro::ck_apps::{fib, jacobi, nqueens, primes, puzzle, spec, tsp};
 use charm_repro::prelude::*;
+use chare_kernel::{CkReport, ProcConfig};
 
 #[test]
 fn fib_agrees_across_backends() {
@@ -80,6 +90,157 @@ fn primes_agrees_across_backends() {
     let mut thr = prog.run_threads(4);
     assert!(!thr.timed_out);
     assert_eq!(sim.take_result::<u64>(), thr.take_result::<u64>());
+}
+
+// ---- the cross-backend conformance matrix ------------------------------
+
+/// Run one spec on all three machines at the same PE count. `test_name`
+/// must be this integration test's full libtest name: the procs backend
+/// re-invokes the test binary with `<test_name> --exact` per worker.
+fn run_matrix(test_name: &str, spec_str: &str, npes: usize) -> [CkReport; 3] {
+    spec::worker_hook();
+    let prog = spec::build_spec(spec_str);
+    let sim = prog.run_sim_preset(npes, MachinePreset::NcubeLike);
+    let thr = prog.run_threads(npes);
+    assert!(!thr.timed_out, "{spec_str}: thread backend timed out");
+    let prc = prog.run_procs(&ProcConfig::for_test(npes, spec_str, test_name));
+    let detail = prc.proc.as_ref().expect("procs report carries detail");
+    assert!(
+        detail.aborted.is_none(),
+        "{spec_str}: procs run aborted: {}",
+        detail.aborted.as_ref().unwrap()
+    );
+    assert!(!prc.timed_out, "{spec_str}: procs backend timed out");
+    assert_eq!(detail.npes, npes);
+    assert!(
+        detail.worker_end_ns.iter().all(|&ns| ns > 0),
+        "{spec_str}: some worker never reported: {:?}",
+        detail.worker_end_ns
+    );
+    [sim, thr, prc]
+}
+
+/// Kernel invariants every clean run must satisfy, on every backend:
+/// the exactly-once seed ledger balances (chares constructed == seeds
+/// spawned when no backlog was abandoned) and quiescence — if the app
+/// uses it — was declared exactly once, by PE 0's coordinator.
+fn assert_counter_invariants(spec_str: &str, backend: &str, rep: &CkReport, uses_qd: bool) {
+    let spawned = rep.counter_total("seeds_spawned");
+    let created = rep.counter_total("chares_created");
+    let backlog = rep.counter_total("backlog_end");
+    assert_eq!(backlog, 0, "{spec_str} on {backend}: work left behind");
+    assert_eq!(
+        spawned, created,
+        "{spec_str} on {backend}: seed ledger out of balance"
+    );
+    assert_eq!(
+        rep.counter_total("qd_declares"),
+        u64::from(uses_qd),
+        "{spec_str} on {backend}: quiescence declarations"
+    );
+}
+
+/// Answers and schedule-independent counters must agree across all
+/// three backends; schedule-*dependent* counters (forwarding, work
+/// stealing) legitimately differ and are not compared.
+fn assert_matrix<T: Send + Sync + PartialEq + std::fmt::Debug + 'static>(
+    spec_str: &str,
+    reports: &mut [CkReport; 3],
+    uses_qd: bool,
+) {
+    let mut answers = Vec::new();
+    for (backend, rep) in ["sim", "threads", "procs"].into_iter().zip(reports.iter_mut()) {
+        let ans = rep
+            .take_result::<T>()
+            .unwrap_or_else(|| panic!("{spec_str} on {backend}: no result"));
+        assert_counter_invariants(spec_str, backend, rep, uses_qd);
+        answers.push((backend, ans));
+    }
+    let (_, want) = &answers[0];
+    for (backend, got) in &answers[1..] {
+        assert_eq!(got, want, "{spec_str}: {backend} answer diverges from sim");
+    }
+    let spawned: Vec<u64> = reports.iter().map(|r| r.counter_total("seeds_spawned")).collect();
+    assert!(
+        spawned.iter().all(|&s| s == spawned[0]),
+        "{spec_str}: seed totals differ across backends: {spawned:?}"
+    );
+}
+
+#[test]
+fn conformance_fib() {
+    let mut reps = run_matrix("conformance_fib", "fib:n=18,grain=11", 4);
+    assert_matrix::<u64>("fib:n=18,grain=11", &mut reps, false);
+}
+
+#[test]
+fn conformance_nqueens() {
+    let spec_str = "nqueens:n=8,grain=4";
+    let mut reps = run_matrix("conformance_nqueens", spec_str, 4);
+    assert_matrix::<u64>(spec_str, &mut reps, true);
+}
+
+#[test]
+fn conformance_primes() {
+    let spec_str = "primes:limit=4000,chunks=12";
+    let mut reps = run_matrix("conformance_primes", spec_str, 4);
+    assert_matrix::<u64>(spec_str, &mut reps, true);
+}
+
+#[test]
+fn conformance_matmul() {
+    // Integer-valued f64 arithmetic: checksums are exact, so the matrix
+    // comparison is bitwise like the integer apps.
+    let spec_str = "matmul:n=32";
+    let mut reps = run_matrix("conformance_matmul", spec_str, 4);
+    assert_matrix::<f64>(spec_str, &mut reps, true);
+}
+
+#[test]
+fn conformance_jacobi() {
+    // Block partitioning is by PE index and each backend runs the same
+    // npes, so per-block sums are bitwise identical; only the final
+    // accumulator combine could differ. Compare with a tight tolerance
+    // and keep the counter invariants exact.
+    let spec_str = "jacobi:n=24,iters=8";
+    let mut reps = run_matrix("conformance_jacobi", spec_str, 4);
+    let mut answers = Vec::new();
+    for (backend, rep) in ["sim", "threads", "procs"].into_iter().zip(reps.iter_mut()) {
+        let ans = rep.take_result::<f64>().expect("checksum");
+        assert_counter_invariants(spec_str, backend, rep, true);
+        answers.push((backend, ans));
+    }
+    let (_, want) = answers[0];
+    for &(backend, got) in &answers[1..] {
+        assert!(
+            (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+            "{spec_str}: {backend} {got} vs sim {want}"
+        );
+    }
+}
+
+#[test]
+fn conformance_procs_tcp_and_topologies() {
+    // The same program over TCP loopback and a non-default logical
+    // topology: transport and balancer neighborhoods must not change
+    // the answer.
+    spec::worker_hook();
+    let spec_str = "fib:n=16,grain=10";
+    let prog = spec::build_spec(spec_str);
+    let want = fib::fib_seq(16);
+    for (transport, topo) in [
+        (chare_kernel::ProcTransport::Tcp, Topology::Ring),
+        (chare_kernel::ProcTransport::Uds, Topology::FullyConnected),
+    ] {
+        let cfg = ProcConfig::for_test(3, spec_str, "conformance_procs_tcp_and_topologies")
+            .with_transport(transport)
+            .with_topology(topo);
+        let mut rep = prog.run_procs(&cfg);
+        let detail = rep.proc.as_ref().expect("detail");
+        assert!(detail.aborted.is_none(), "{:?}", detail.aborted);
+        assert_eq!(detail.transport, transport);
+        assert_eq!(rep.take_result::<u64>(), Some(want));
+    }
 }
 
 #[test]

@@ -1,0 +1,78 @@
+//! Worker-death regression tests for the multi-process backend: a
+//! worker that exits nonzero or closes its sockets mid-run must surface
+//! as a *structured* abort reason on the report — never a hang, and
+//! never a watchdog timeout masquerading as one.
+//!
+//! The crash is injected with `ProcConfig::with_crash`, which ships a
+//! `CK_PROC_CRASH` hook to exactly one rank; the hook fires after a few
+//! scheduling steps so the death lands mid-computation, with traffic in
+//! flight.
+
+use charm_repro::ck_apps::spec;
+use chare_kernel::{ProcAbortReason, ProcConfig};
+use std::time::{Duration, Instant};
+
+/// Run fib with a crash hook and return the abort reason, asserting the
+/// parent classified the death long before the watchdog would fire.
+fn run_crashed(test_name: &str, crash: &str) -> ProcAbortReason {
+    spec::worker_hook();
+    let spec_str = "fib:n=18,grain=10";
+    let prog = spec::build_spec(spec_str);
+    let cfg = ProcConfig::for_test(4, spec_str, test_name)
+        .with_watchdog(Duration::from_secs(60))
+        .with_crash(crash);
+    let started = Instant::now();
+    let mut rep = prog.run_procs(&cfg);
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "death took {elapsed:?} to classify — that is a hang, not an abort"
+    );
+    assert!(!rep.timed_out, "worker death misreported as a watchdog timeout");
+    assert!(rep.take_result::<u64>().is_none(), "aborted run has no result");
+    rep.proc
+        .as_ref()
+        .expect("procs detail")
+        .aborted
+        .clone()
+        .expect("worker death must be surfaced as an abort reason")
+}
+
+#[test]
+fn worker_nonzero_exit_is_structured() {
+    let reason = run_crashed("worker_nonzero_exit_is_structured", "2:exit:7:3");
+    assert_eq!(
+        reason,
+        ProcAbortReason::WorkerExit {
+            rank: 2,
+            code: Some(7)
+        },
+        "got: {reason}"
+    );
+}
+
+#[test]
+fn worker_socket_close_is_structured() {
+    // The worker closes control and data sockets but keeps running
+    // (simulating a wedged or partitioned process): the parent must
+    // classify the hangup from the socket, not wait for process death.
+    let reason = run_crashed("worker_socket_close_is_structured", "1:close:3");
+    assert_eq!(
+        reason,
+        ProcAbortReason::WorkerDisconnect { rank: 1 },
+        "got: {reason}"
+    );
+}
+
+#[test]
+fn clean_runs_have_no_abort_reason() {
+    // Control case for the two above: the same program with no hook
+    // completes with `aborted: None` and a result.
+    spec::worker_hook();
+    let spec_str = "fib:n=16,grain=10";
+    let prog = spec::build_spec(spec_str);
+    let cfg = ProcConfig::for_test(4, spec_str, "clean_runs_have_no_abort_reason");
+    let mut rep = prog.run_procs(&cfg);
+    assert!(rep.proc.as_ref().unwrap().aborted.is_none());
+    assert!(rep.take_result::<u64>().is_some());
+}
