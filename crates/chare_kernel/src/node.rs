@@ -417,18 +417,33 @@ impl CkNode {
     /// the PE that stopped acknowledging.
     fn redirect_seed(&mut self, net: &mut dyn NetCtx, rd: RedirectSeed) {
         self.counters.seeds_redirected += 1;
+        // Never re-aim at any destination this PE has already timed a
+        // seed out on (the suspect set includes `rd.suspect`). The set
+        // only grows, so a seed that keeps timing out bounces through
+        // at most `npes - 1` fresh destinations before settling here —
+        // without this, a congested machine whose RTT exceeds the seed
+        // retry budget reclaims *live* in-flight seeds and re-launches
+        // them forever, and each bounce adds traffic that keeps the
+        // RTT high: a self-sustaining redirect livelock.
+        let suspects = self
+            .rel
+            .as_ref()
+            .expect("redirect implies reliable layer")
+            .suspects()
+            .to_vec();
+        let ok = |p: Pe| p != rd.suspect && p.index() < self.npes && !suspects[p.index()];
         let chosen = self
             .balancer
             .redirect_target(rd.suspect, &mut self.rng)
-            .filter(|&t| t != rd.suspect && t.index() < self.npes);
+            .filter(|&t| ok(t));
         let target = match chosen {
             Some(t) => t,
             None => {
-                // Uniform over the other PEs; run it here if the
-                // suspect was the only alternative.
+                // Uniform over the non-suspect PEs; run it here if the
+                // suspects were the only alternative.
                 let cands: Vec<Pe> = (0..self.npes)
                     .map(Pe::from)
-                    .filter(|&p| p != rd.suspect && p != self.pe)
+                    .filter(|&p| ok(p) && p != self.pe)
                     .collect();
                 if cands.is_empty() {
                     self.pe
@@ -450,10 +465,16 @@ impl CkNode {
         } = rd.seed
         {
             if target == self.pe {
+                // The seed was counted as sent at its original post;
+                // settling it here IS its delivery, so the quiescence
+                // recv counter must balance or QD never declares.
+                self.counters.user_recv += 1;
                 self.place_seed(net, kind, seed, bytes, prio, PLACED);
             } else {
                 // hops = 1 so the receiver's balancer settles it rather
-                // than bouncing it onward.
+                // than bouncing it onward. The seed stays redirectable:
+                // if this target turns out dead too, the suspect filter
+                // above steers the next redirect somewhere fresh.
                 self.wire_send(
                     net,
                     target,

@@ -205,6 +205,25 @@ impl BitPrio {
         out
     }
 
+    /// Lexicographic encoding of a component path: each component is
+    /// appended as a fixed 32-bit field, so comparing two encoded
+    /// priorities is exactly comparing the component slices
+    /// lexicographically (with a shorter path, being a zero-padded
+    /// prefix, ordering equal-or-before its extensions). This is the
+    /// encoding pipelined workloads use for `(stage, block)` ordering —
+    /// and what apps should reach for instead of hand-packing widths.
+    ///
+    /// Hand-packed encodings (e.g. `tsp`'s 5-bit child ranks) remain
+    /// valid and cheaper on the wire; `from_path` trades those bytes for
+    /// not having to prove each component fits its width.
+    pub fn from_path(path: &[u32]) -> BitPrio {
+        let mut out = BitPrio::root();
+        for &component in path {
+            out = out.child(component, 32);
+        }
+        out
+    }
+
     /// First stored byte, zero-padded — the radix the bucketed scheduler
     /// queue sorts on. Safe as a coarse sort key because priorities that
     /// compare equal always share it (trailing padding is all zeros) and
@@ -433,6 +452,58 @@ mod tests {
         for w in ps.windows(2) {
             assert!(w[0].prefix_key() <= w[1].prefix_key());
         }
+    }
+
+    #[test]
+    fn from_path_is_lexicographic() {
+        let paths: [&[u32]; 6] = [
+            &[],
+            &[0],
+            &[0, 5],
+            &[1, 0],
+            &[1, 2],
+            &[2],
+        ];
+        let encoded: Vec<BitPrio> = paths.iter().map(|p| BitPrio::from_path(p)).collect();
+        for i in 0..paths.len() {
+            for j in 0..paths.len() {
+                let want = paths[i].cmp(paths[j]);
+                let got = encoded[i].cmp(&encoded[j]);
+                // A strict prefix compares Less as a slice but Equal as
+                // a zero-padded bitvector; everything else must agree.
+                let prefix = paths[i].len() < paths[j].len()
+                    && paths[j][..paths[i].len()] == *paths[i]
+                    && paths[j][paths[i].len()..].iter().all(|&c| c == 0);
+                let rev_prefix = paths[j].len() < paths[i].len()
+                    && paths[i][..paths[j].len()] == *paths[j]
+                    && paths[i][paths[j].len()..].iter().all(|&c| c == 0);
+                if prefix || rev_prefix {
+                    assert_eq!(got, Ordering::Equal, "{:?} vs {:?}", paths[i], paths[j]);
+                } else {
+                    assert_eq!(got, want, "{:?} vs {:?}", paths[i], paths[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_path_matches_hand_packed_children() {
+        let by_path = BitPrio::from_path(&[3, 17]);
+        let by_hand = BitPrio::root().child(3, 32).child(17, 32);
+        assert_eq!(by_path, by_hand);
+        assert_eq!(by_path.len(), 64);
+    }
+
+    #[test]
+    fn from_path_empty_is_root() {
+        assert_eq!(BitPrio::from_path(&[]), BitPrio::root());
+    }
+
+    #[test]
+    fn from_path_handles_full_width_components() {
+        let lo = BitPrio::from_path(&[u32::MAX - 1]);
+        let hi = BitPrio::from_path(&[u32::MAX]);
+        assert!(lo < hi);
     }
 
     #[test]

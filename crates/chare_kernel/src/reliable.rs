@@ -574,6 +574,16 @@ impl RelState {
             && !self.wait_q.iter().flatten().any(|w| w.counted)
     }
 
+    /// Destinations that have ever timed a seed out on this PE. Seed
+    /// redirection consults this so a reclaimed seed is never re-aimed
+    /// at a destination already known not to answer — the set only
+    /// grows, so a seed bouncing through slow destinations runs out of
+    /// fresh targets after at most `npes - 1` hops and settles locally
+    /// instead of circulating forever.
+    pub(crate) fn suspects(&self) -> &[bool] {
+        &self.suspect
+    }
+
     /// Number of unacknowledged frames (for tests/diagnostics).
     #[cfg(test)]
     pub(crate) fn in_flight(&self) -> usize {

@@ -29,6 +29,19 @@ pub const JACOBI_CELL_NS: u64 = 160;
 /// One trial division in the primes benchmark.
 pub const PRIMES_DIV_NS: u64 = 45;
 
+/// Hashing one MMR leaf (models hashing a whole data block into its
+/// leaf digest, the dominant cost of a Merkle build — deliberately
+/// heavy so production-grain runs are compute-bound and near-linear
+/// against the era's ~150 us per-message software overhead).
+pub const MMR_LEAF_NS: u64 = 25_000;
+
+/// Combining two MMR child digests into an interior node.
+pub const MMR_NODE_NS: u64 = 400;
+
+/// Producing one row of one pipelined table-fill block (per dependency
+/// consumed plus the base hash).
+pub const FILL_ROW_NS: u64 = 700;
+
 /// Charge for `units` of work at `ns_per_unit`.
 pub fn work(units: u64, ns_per_unit: u64) -> Cost {
     Cost::nanos(units.saturating_mul(ns_per_unit))

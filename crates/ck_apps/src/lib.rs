@@ -16,6 +16,8 @@
 //! | [`matmul`] | Cannon's matrix multiply | mesh BOC, bulk data |
 //! | [`jacobi_conv`] | Jacobi to convergence | reduction-per-iteration barrier |
 //! | [`sortbench`] | sample sort | all-to-all communication |
+//! | [`mmr`] | Merkle-mountain-range build | distributed table, write-once, bitvector priorities |
+//! | [`tablefill`] | pipelined staged table fill | distributed table streaming, `(stage, block)` priorities |
 //! | [`baseline`] | — | raw machine layer (kernel-overhead comparison) |
 //!
 //! Every app exposes `build(params, queueing, balance) -> Program`,
@@ -29,6 +31,7 @@
 
 pub mod baseline;
 pub mod costs;
+pub mod hashes;
 pub mod jacobi;
 pub mod jacobi_conv;
 pub mod puzzle;
@@ -37,6 +40,8 @@ pub mod sortbench;
 pub mod tsp;
 pub mod fib;
 pub mod matmul;
+pub mod mmr;
 pub mod nqueens;
 pub mod primes;
 pub mod spec;
+pub mod tablefill;

@@ -9,21 +9,24 @@
 //!
 //! Format: `app[:key=val,...]`. Omitted keys take the app's defaults.
 //! Every app accepts `bal` (`local`, `random`, `acwn`, `central`,
-//! `token`) and `q` (`fifo`, `lifo`) plus its own parameter keys:
+//! `token`) and `q` (`fifo`, `lifo`, `int`, `bitvec`) plus its own
+//! parameter keys:
 //!
-//! | app       | keys                  |
-//! |-----------|-----------------------|
-//! | `fib`     | `n`, `grain`          |
-//! | `jacobi`  | `n`, `iters`          |
-//! | `matmul`  | `n`                   |
-//! | `nqueens` | `n`, `grain`          |
-//! | `primes`  | `limit`, `chunks`     |
-//! | `quad`    | `grain` (thousandths) |
+//! | app         | keys                                    |
+//! |-------------|-----------------------------------------|
+//! | `fib`       | `n`, `grain`                            |
+//! | `jacobi`    | `n`, `iters`                            |
+//! | `matmul`    | `n`                                     |
+//! | `mmr`       | `leaves`, `grain`, `seed`               |
+//! | `nqueens`   | `n`, `grain`                            |
+//! | `primes`    | `limit`, `chunks`                       |
+//! | `quad`      | `grain` (thousandths)                   |
+//! | `tablefill` | `stages`, `blocks`, `rows`, `width`, `seed` |
 
 use chare_kernel::prelude::*;
 use chare_kernel::Program;
 
-use crate::{fib, jacobi, matmul, nqueens, primes, quad};
+use crate::{fib, jacobi, matmul, mmr, nqueens, primes, quad, tablefill};
 
 /// Entry hook for binaries that may be re-invoked as procs-backend
 /// workers: call this first in `main` (and first in any test that runs
@@ -108,6 +111,36 @@ pub fn build_spec(spec: &str) -> Program {
             };
             primes::build(params, opts.queueing(), opts.balance_or(BalanceStrategy::Random))
         }
+        "mmr" => {
+            known(&["leaves", "grain", "seed"]);
+            let d = mmr::MmrParams::default();
+            let params = mmr::MmrParams {
+                leaves: num("leaves").unwrap_or(d.leaves),
+                grain: num("grain").unwrap_or(d.grain),
+                seed: num("seed").unwrap_or(d.seed),
+            };
+            mmr::build(
+                params,
+                opts.queueing_or(QueueingStrategy::BitvecPriority),
+                opts.balance_or(BalanceStrategy::Random),
+            )
+        }
+        "tablefill" => {
+            known(&["stages", "blocks", "rows", "width", "seed"]);
+            let d = tablefill::FillParams::default();
+            let params = tablefill::FillParams {
+                stages: num("stages").map_or(d.stages, |v| v as u32),
+                blocks: num("blocks").map_or(d.blocks, |v| v as u32),
+                rows: num("rows").map_or(d.rows, |v| v as u32),
+                width: num("width").map_or(d.width, |v| v as u32),
+                seed: num("seed").unwrap_or(d.seed),
+            };
+            tablefill::build(
+                params,
+                opts.queueing_or(QueueingStrategy::BitvecPriority),
+                opts.balance_or(BalanceStrategy::Random),
+            )
+        }
         "quad" => {
             // `grain` is in thousandths so the spec stays integer-only.
             known(&["grain"]);
@@ -137,6 +170,8 @@ impl CommonOpts {
                 self.queueing = Some(match v {
                     "fifo" => QueueingStrategy::Fifo,
                     "lifo" => QueueingStrategy::Lifo,
+                    "int" => QueueingStrategy::IntPriority,
+                    "bitvec" => QueueingStrategy::BitvecPriority,
                     _ => panic!("unknown queueing {v:?} in spec {spec:?}"),
                 });
                 true
@@ -157,7 +192,13 @@ impl CommonOpts {
     }
 
     fn queueing(&self) -> QueueingStrategy {
-        self.queueing.unwrap_or(QueueingStrategy::Fifo)
+        self.queueing_or(QueueingStrategy::Fifo)
+    }
+
+    /// Like [`CommonOpts::queueing`] for apps whose table default is not
+    /// FIFO (the priority-driven hash-tree family).
+    fn queueing_or(&self, default: QueueingStrategy) -> QueueingStrategy {
+        self.queueing.unwrap_or(default)
     }
 
     fn balance_or(&mut self, default: BalanceStrategy) -> BalanceStrategy {
@@ -201,6 +242,28 @@ mod tests {
     #[should_panic(expected = "unknown key")]
     fn unknown_key_panics() {
         build_spec("fib:m=3");
+    }
+
+    #[test]
+    fn hash_tree_family_specs_run() {
+        let mut rep =
+            build_spec("mmr:leaves=60,grain=8,seed=2").run_sim_preset(4, MachinePreset::NcubeLike);
+        let got = rep.take_result::<mmr::MmrResult>().expect("mmr result");
+        assert_eq!(got.root, mmr::mmr_root_seq(2, 60));
+        let p = tablefill::FillParams { stages: 2, blocks: 4, rows: 4, width: 2, seed: 3 };
+        let mut rep = build_spec("tablefill:stages=2,blocks=4,rows=4,width=2,seed=3,q=fifo")
+            .run_sim_preset(4, MachinePreset::NcubeLike);
+        let got = rep.take_result::<tablefill::FillResult>().expect("fill result");
+        assert_eq!(got.digest, tablefill::fill_seq(&p));
+    }
+
+    #[test]
+    fn priority_queueing_strategies_parse() {
+        for q in ["int", "bitvec"] {
+            let mut rep = build_spec(&format!("fib:n=14,grain=8,q={q}"))
+                .run_sim_preset(2, MachinePreset::NcubeLike);
+            assert_eq!(rep.take_result::<u64>(), Some(fib::fib_seq(14)), "q={q}");
+        }
     }
 
     #[test]

@@ -27,6 +27,8 @@ const TABLE_P: u32 = 101;
 const TABLE_M: u32 = 102;
 /// Internal id for `--table b`.
 const TABLE_B: u32 = 103;
+/// Internal id for `--table h`.
+const TABLE_H: u32 = 104;
 
 fn usage() -> ! {
     eprintln!(
@@ -35,7 +37,8 @@ fn usage() -> ! {
          \x20              [--jobs N | --serial] [--no-cache]\n\
          \x20              [--host-perf [--bench-out PATH]] [--metrics-perf]\n\
          tables: 1..=8, r (resilience), p (overhead attribution),\n\
-         \x20        m (streaming time profiles), b (cross-backend conformance)\n\
+         \x20        m (streaming time profiles), b (cross-backend conformance),\n\
+         \x20        h (hash-tree & pipelined table-fill workloads)\n\
          \x20        figures: 1..=8\n\
          --matrix APP        PExPE message matrix for one benchmark (e.g. fib)\n\
          --export-trace APP  Chrome trace-event JSON for one benchmark\n\
@@ -106,6 +109,7 @@ fn main() {
                     Some("p") | Some("P") if is_table => TABLE_P,
                     Some("m") | Some("M") if is_table => TABLE_M,
                     Some("b") | Some("B") if is_table => TABLE_B,
+                    Some("h") | Some("H") if is_table => TABLE_H,
                     Some(a) => a.parse().unwrap_or_else(|_| usage()),
                     None => usage(),
                 };
@@ -155,6 +159,7 @@ fn main() {
             (true, TABLE_P) => ck_bench::table_p(scale),
             (true, TABLE_M) => ck_bench::table_m(scale),
             (true, TABLE_B) => ck_bench::table_b(scale),
+            (true, TABLE_H) => ck_bench::table_h(scale),
             (false, 1) => ck_bench::fig1(scale),
             (false, 2) => ck_bench::fig2(scale),
             (false, 3) => ck_bench::fig3(scale),

@@ -43,6 +43,7 @@ pub fn table_jobs() -> Vec<TableJob> {
         ("table_p", crate::trace_view::table_p),
         ("table_m", crate::metrics_view::table_m),
         ("table_b", experiments::table_b),
+        ("table_h", experiments::table_h),
     ]
 }
 
@@ -215,13 +216,14 @@ mod tests {
     #[test]
     fn jobs_cover_all_in_order() {
         let names: Vec<&str> = table_jobs().iter().map(|(n, _)| *n).collect();
-        assert_eq!(names.len(), 20);
+        assert_eq!(names.len(), 21);
         assert_eq!(names[0], "table1");
         assert_eq!(names[8], "fig1");
         assert_eq!(names[16], "table_r");
         assert_eq!(names[17], "table_p");
         assert_eq!(names[18], "table_m");
         assert_eq!(names[19], "table_b");
+        assert_eq!(names[20], "table_h");
     }
 
     #[test]

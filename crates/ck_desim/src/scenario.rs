@@ -14,13 +14,24 @@
 
 use chare_kernel::prelude::*;
 use chare_kernel::CkReport;
-use ck_apps::{fib, jacobi, jacobi_conv, nqueens, primes, quad};
+use ck_apps::{fib, jacobi, jacobi_conv, mmr, nqueens, primes, quad, tablefill};
 use multicomputer::{FaultPlan, FaultRng};
 
 /// Convergence tolerance for the `jconv` app — fixed, because a looser
 /// tolerance changes the iteration count (the app's *answer*) and the
 /// spec string should carry every answer-relevant knob explicitly.
 const CONV_EPS: f64 = 1e-3;
+
+/// Leaf seed for the `mmr` app — fixed so the spec fragment stays two
+/// numbers; the fragment carries every *shape* knob and the seed only
+/// permutes digest values, never the protocol.
+const MMR_SEED: u64 = 1;
+
+/// Rows per block and base seed for the `tfill` app, fixed for the same
+/// reason (rows scale work without changing the dependency structure).
+const FILL_ROWS: u32 = 8;
+/// Base seed for `tfill`.
+const FILL_SEED: u64 = 1;
 
 /// A comparable distillation of an app's result: exact for counts,
 /// tolerant for floating-point accumulations whose addition order is
@@ -105,6 +116,24 @@ pub enum AppConfig {
         /// Grain width in thousandths (`grain = grain_milli / 1000`).
         grain_milli: u32,
     },
+    /// Merkle-mountain-range build — table puts/gets, a write-once
+    /// root, and a per-PE verification vote, all under fault storms.
+    Mmr {
+        /// Leaf count.
+        leaves: u64,
+        /// Leaves per table block (and per leaf-phase chare).
+        grain: u64,
+    },
+    /// Pipelined multi-table fill — staged dependency windows through
+    /// the distributed table with per-stage garbage collection.
+    TableFill {
+        /// Pipeline depth.
+        stages: u32,
+        /// Blocks per stage.
+        blocks: u32,
+        /// Dependency-window width.
+        width: u32,
+    },
 }
 
 impl AppConfig {
@@ -118,6 +147,8 @@ impl AppConfig {
             AppConfig::Jacobi { .. } => "jacobi",
             AppConfig::JacobiConv { .. } => "jconv",
             AppConfig::Quad { .. } => "quad",
+            AppConfig::Mmr { .. } => "mmr",
+            AppConfig::TableFill { .. } => "tfill",
         }
     }
 
@@ -130,6 +161,12 @@ impl AppConfig {
             AppConfig::Jacobi { n, iters } => format!("jacobi:{n}/{iters}"),
             AppConfig::JacobiConv { n, max_iters } => format!("jconv:{n}/{max_iters}"),
             AppConfig::Quad { grain_milli } => format!("quad:{grain_milli}"),
+            AppConfig::Mmr { leaves, grain } => format!("mmr:{leaves}/{grain}"),
+            AppConfig::TableFill {
+                stages,
+                blocks,
+                width,
+            } => format!("tfill:{stages}/{blocks}/{width}"),
         }
     }
 
@@ -188,6 +225,21 @@ impl AppConfig {
                     .parse()
                     .map_err(|e| format!("bad number '{rest}': {e}"))?,
             },
+            "mmr" => {
+                let (leaves, grain) = two(rest)?;
+                AppConfig::Mmr { leaves, grain }
+            }
+            "tfill" => {
+                let parts: Vec<&str> = rest.split('/').collect();
+                if parts.len() != 3 {
+                    return Err(format!("expected STAGES/BLOCKS/WIDTH, got '{rest}'"));
+                }
+                AppConfig::TableFill {
+                    stages: parts[0].parse().map_err(|e| format!("bad stages: {e}"))?,
+                    blocks: parts[1].parse().map_err(|e| format!("bad blocks: {e}"))?,
+                    width: parts[2].parse().map_err(|e| format!("bad width: {e}"))?,
+                }
+            }
             other => return Err(format!("unknown app '{other}'")),
         })
     }
@@ -213,6 +265,29 @@ impl AppConfig {
                 }
             ),
             AppConfig::Quad { grain_milli } => format!("{:?}", Self::quad_params(grain_milli)),
+            AppConfig::Mmr { leaves, grain } => format!(
+                "{:?}",
+                mmr::MmrParams {
+                    leaves,
+                    grain,
+                    seed: MMR_SEED,
+                }
+            ),
+            AppConfig::TableFill {
+                stages,
+                blocks,
+                width,
+            } => format!("{:?}", Self::fill_params(stages, blocks, width)),
+        }
+    }
+
+    fn fill_params(stages: u32, blocks: u32, width: u32) -> tablefill::FillParams {
+        tablefill::FillParams {
+            stages,
+            blocks,
+            rows: FILL_ROWS,
+            width,
+            seed: FILL_SEED,
         }
     }
 
@@ -256,6 +331,24 @@ impl AppConfig {
             AppConfig::Quad { grain_milli } => {
                 quad::build(Self::quad_params(grain_milli), queueing, balance.clone())
             }
+            AppConfig::Mmr { leaves, grain } => mmr::build(
+                mmr::MmrParams {
+                    leaves,
+                    grain,
+                    seed: MMR_SEED,
+                },
+                queueing,
+                balance.clone(),
+            ),
+            AppConfig::TableFill {
+                stages,
+                blocks,
+                width,
+            } => tablefill::build(
+                Self::fill_params(stages, blocks, width),
+                queueing,
+                balance.clone(),
+            ),
         }
     }
 
@@ -271,6 +364,14 @@ impl AppConfig {
             }
             AppConfig::JacobiConv { .. } => {
                 Answer::Int(rep.result_ref::<jacobi_conv::ConvResult>()?.iters as u64)
+            }
+            // Both hash-family answers are already order-independent
+            // digests; fold the MMR root to one comparable word.
+            AppConfig::Mmr { .. } => {
+                Answer::Int(rep.result_ref::<mmr::MmrResult>()?.root.fold())
+            }
+            AppConfig::TableFill { .. } => {
+                Answer::Int(rep.result_ref::<tablefill::FillResult>()?.digest)
             }
         })
     }
@@ -530,7 +631,7 @@ pub fn generate(rng: &mut FaultRng) -> Scenario {
             }),
         };
     }
-    let app = match rng.below(6) {
+    let app = match rng.below(8) {
         0 => AppConfig::Fib {
             n: 14 + rng.below(5) as u32,
             grain: 8 + rng.below(3) as u32,
@@ -551,8 +652,17 @@ pub fn generate(rng: &mut FaultRng) -> Scenario {
             n: 16,
             max_iters: [100, 200][rng.below(2) as usize],
         },
-        _ => AppConfig::Quad {
+        5 => AppConfig::Quad {
             grain_milli: [200, 300, 500][rng.below(3) as usize],
+        },
+        6 => AppConfig::Mmr {
+            leaves: [40, 64, 90][rng.below(3) as usize],
+            grain: [4, 8][rng.below(2) as usize],
+        },
+        _ => AppConfig::TableFill {
+            stages: [2, 3][rng.below(2) as usize],
+            blocks: [4, 6][rng.below(2) as usize],
+            width: [1, 2][rng.below(2) as usize],
         },
     };
     // jconv's build fixes its strategies; pin them in the scenario so
@@ -564,6 +674,13 @@ pub fn generate(rng: &mut FaultRng) -> Scenario {
     // a kernel bug.
     let queueing = match app {
         AppConfig::Jacobi { .. } | AppConfig::JacobiConv { .. } => QueueingStrategy::Fifo,
+        // The hash-family apps attach bitvector priorities to every
+        // send; give the priority ready-queue fault coverage too.
+        AppConfig::Mmr { .. } | AppConfig::TableFill { .. } => [
+            QueueingStrategy::Fifo,
+            QueueingStrategy::Lifo,
+            QueueingStrategy::BitvecPriority,
+        ][rng.below(3) as usize],
         _ => [QueueingStrategy::Fifo, QueueingStrategy::Lifo][rng.below(2) as usize],
     };
     let balance = if matches!(app, AppConfig::JacobiConv { .. }) {
@@ -616,6 +733,7 @@ mod tests {
             "app=fib:14/8 npes=4 preset=ncube q=gpu b=local rel=none",   // unknown queueing
             "app=fib:14/8 npes=4 preset=ncube q=fifo b=magic rel=none",  // unknown balance
             "app=fib:14/8 npes=4 preset=ncube q=fifo b=local rel=1/2",   // short rel
+            "app=tfill:2/4 npes=4 preset=ncube q=fifo b=local rel=none", // short tfill
             "app=fib:14/8 npes=x preset=ncube q=fifo b=local rel=none",  // bad number
             "whatever",                                                  // no key=value
         ] {

@@ -11,7 +11,7 @@
 //! `ProcConfig::for_test`, so every matrix test calls
 //! `spec::worker_hook()` before anything else.
 
-use charm_repro::ck_apps::{fib, jacobi, nqueens, primes, puzzle, spec, tsp};
+use charm_repro::ck_apps::{fib, jacobi, mmr, nqueens, primes, puzzle, spec, tablefill, tsp};
 use charm_repro::prelude::*;
 use chare_kernel::{CkReport, ProcConfig};
 
@@ -217,6 +217,48 @@ fn conformance_jacobi() {
             "{spec_str}: {backend} {got} vs sim {want}"
         );
     }
+}
+
+#[test]
+fn conformance_mmr() {
+    // The MMR root is a fold over fixed tree structure, so the whole
+    // result — root digest and peak count — must be byte-identical on
+    // every backend, and must match the serial reference.
+    let spec_str = "mmr:leaves=300,grain=16,seed=7";
+    let mut reps = run_matrix("conformance_mmr", spec_str, 4);
+    let want = mmr::mmr_root_seq(7, 300);
+    for rep in &reps {
+        assert_eq!(rep.result_ref::<mmr::MmrResult>().unwrap().root, want);
+    }
+    assert_matrix::<mmr::MmrResult>(spec_str, &mut reps, false);
+}
+
+#[test]
+fn conformance_tablefill() {
+    // The fill digest is schedule-independent; the stage-completion
+    // profile is wall-clock on the real backends and legitimately
+    // differs, so compare digests by hand instead of whole results.
+    let spec_str = "tablefill:stages=3,blocks=8,rows=8,width=2,seed=5";
+    let mut reps = run_matrix("conformance_tablefill", spec_str, 4);
+    let p = tablefill::FillParams {
+        stages: 3,
+        blocks: 8,
+        rows: 8,
+        width: 2,
+        seed: 5,
+    };
+    let want = tablefill::fill_seq(&p);
+    for (backend, rep) in ["sim", "threads", "procs"].into_iter().zip(reps.iter_mut()) {
+        let got = rep.take_result::<tablefill::FillResult>().expect("fill result");
+        assert_eq!(got.digest, want, "{spec_str} on {backend}: digest diverges");
+        assert_eq!(got.stage_done.len(), 3, "{spec_str} on {backend}: profile length");
+        assert_counter_invariants(spec_str, backend, rep, false);
+    }
+    let spawned: Vec<u64> = reps.iter().map(|r| r.counter_total("seeds_spawned")).collect();
+    assert!(
+        spawned.iter().all(|&s| s == spawned[0]),
+        "{spec_str}: seed totals differ across backends: {spawned:?}"
+    );
 }
 
 #[test]

@@ -16,7 +16,7 @@ fn desim_corpus_replays_green() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/desim_corpus");
     let entries = corpus::load_dir(&dir).expect("corpus directory exists");
     assert!(
-        entries.len() >= 10,
+        entries.len() >= 13,
         "the committed corpus should not shrink; found {}",
         entries.len()
     );
